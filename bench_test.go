@@ -1,0 +1,326 @@
+// Benchmarks mirroring the paper's evaluation, one per experiment in
+// DESIGN.md §5 (E1–E8) plus ablation micro-benchmarks for the sketch
+// parameters. The full parameter sweeps with paper-scale sizes live in
+// cmd/foresight-bench; these benchmarks use moderate sizes so the
+// whole suite runs in minutes on one core.
+package foresight_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"foresight"
+	"foresight/internal/bench"
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/query"
+	"foresight/internal/sketch"
+	"foresight/internal/stats"
+)
+
+// --- E1 / Figure 1: carousel generation ---
+
+func BenchmarkE1Carousels(b *testing.B) {
+	f := datagen.OECD(0, 42)
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Carousels(5, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2 / Figure 2: overview heat map ---
+
+func BenchmarkE2Overview(b *testing.B) {
+	f := datagen.OECD(0, 42)
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov, err := engine.Overview("linear", "", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = foresight.CorrelogramSVG(ov, "bench")
+	}
+}
+
+// --- E3: sketch estimator accuracy (measured as throughput here;
+// accuracy numbers come from cmd/foresight-bench / the E3 test) ---
+
+func BenchmarkE3HyperplaneEstimate(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 20000, NumericCols: 2, Seed: 1})
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{K: 256, Seed: 1})
+	names := f.Names()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.EstimatePearson(names[0], names[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3ExactPearson(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 20000, NumericCols: 2, Seed: 1})
+	x := f.NumericColumns()[0].Values()
+	y := f.NumericColumns()[1].Values()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Pearson(x, y)
+	}
+}
+
+// --- E4: preprocessing, exact vs sketch ---
+
+func BenchmarkE4PreprocessExact(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 10000, NumericCols: 50, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bench.BuildExactStore(f, false)
+	}
+}
+
+func BenchmarkE4PreprocessSketch(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 10000, NumericCols: 50, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sketch.BuildProfile(f, sketch.ProfileConfig{K: 64, Seed: 1})
+	}
+}
+
+// --- E5: interactive query latency over a preprocessed store ---
+
+func newE5Engine(b *testing.B) *query.Engine {
+	b.Helper()
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 20000, NumericCols: 64, CatCols: 3, Seed: 3})
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{K: 64, Seed: 3, Spearman: true})
+	engine, err := query.NewEngine(f, core.NewRegistry(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+func BenchmarkE5CarouselsApprox(b *testing.B) {
+	engine := newE5Engine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Execute(query.Query{K: 5, Approx: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5FixedAttrQuery(b *testing.B) {
+	engine := newE5Engine(b)
+	fixed := engine.Frame().NumericColumns()[0].Name()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.Execute(query.Query{Classes: []string{"linear"}, Fixed: []string{fixed}, K: 10, Approx: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5RangeFilterQuery(b *testing.B) {
+	engine := newE5Engine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.Execute(query.Query{Classes: []string{"linear"}, MinScore: 0.3, MaxScore: 0.6, Approx: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5NeighborhoodQuery(b *testing.B) {
+	engine := newE5Engine(b)
+	top, err := engine.Execute(query.Query{Classes: []string{"linear"}, K: 1, Approx: true})
+	if err != nil || len(top) == 0 {
+		b.Fatal("no focus insight")
+	}
+	focus := top[0].Insights[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Neighborhood(focus, []string{"linear"}, 10, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: all-pairs correlation, exact O(d²n) vs sketch O(d²k) ---
+
+func BenchmarkE6AllPairsExact(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 20000, NumericCols: 48, Seed: 4})
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Overview("linear", "", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6AllPairsSketch(b *testing.B) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 20000, NumericCols: 48, Seed: 4})
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{K: 64, Seed: 4})
+	engine, err := query.NewEngine(f, core.NewRegistry(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Overview("linear", "", true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: the scripted usage scenario end to end ---
+
+func BenchmarkE7Scenario(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE7Scenario(io.Discard, "", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: demo-dataset insight extraction ---
+
+func BenchmarkE8IMDBCarousels(b *testing.B) {
+	f := datagen.IMDB(0, 7)
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Carousels(1, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation micro-benchmarks: per-sketch costs ---
+
+func BenchmarkSketchKLLUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := sketch.NewKLL(200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(rng.NormFloat64())
+	}
+}
+
+func BenchmarkSketchSpaceSavingUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, 1.3, 1, 9999)
+	items := make([]string, 4096)
+	for i := range items {
+		items[i] = fmt.Sprintf("item%d", z.Uint64())
+	}
+	s := sketch.NewSpaceSaving(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(items[i&4095])
+	}
+}
+
+func BenchmarkSketchKMVUpdate(b *testing.B) {
+	items := make([]string, 4096)
+	for i := range items {
+		items[i] = fmt.Sprintf("key-%d", i)
+	}
+	s := sketch.NewKMV(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(items[i&4095])
+	}
+}
+
+func BenchmarkSketchMomentsAdd(b *testing.B) {
+	var m sketch.Moments
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(vals[i&4095])
+	}
+}
+
+func BenchmarkProjectColumns(b *testing.B) {
+	for _, k := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			n := 10000
+			col := make([]float64, n)
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sketch.ProjectColumn(col, 0, sketch.ProjectConfig{K: k, Seed: 1})
+			}
+		})
+	}
+}
+
+func BenchmarkHyperplaneHamming(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	col := make([]float64, 2000)
+	for i := range col {
+		col[i] = rng.NormFloat64()
+	}
+	p := sketch.ProjectColumn(col, 0, sketch.ProjectConfig{K: 512, Seed: 1})
+	h1 := sketch.HyperplaneFromProjection(p)
+	h2 := sketch.HyperplaneFromProjection(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Hamming(h2)
+	}
+}
+
+func BenchmarkStatsDip(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 2048)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Dip(vals)
+	}
+}
+
+func BenchmarkStatsSpearman(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Spearman(x, y)
+	}
+}

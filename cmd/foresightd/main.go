@@ -1,0 +1,64 @@
+// Command foresightd serves the Foresight demo UI (paper Figure 1):
+// insight carousels with click-to-focus exploration and per-class
+// overview heat maps, backed by the query engine over a CSV file or a
+// built-in demo dataset.
+//
+// Usage:
+//
+//	foresightd -data oecd              # built-in demo dataset
+//	foresightd -data mydata.csv -addr :8080 -approx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"foresight"
+	"foresight/internal/server"
+)
+
+func main() {
+	data := flag.String("data", "oecd", "CSV path or demo dataset name (oecd|parkinson|imdb)")
+	addr := flag.String("addr", ":8600", "listen address")
+	k := flag.Int("k", 5, "insights per carousel")
+	approx := flag.Bool("approx", false, "answer queries from sketches")
+	workers := flag.Int("workers", 1, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
+	flag.Parse()
+
+	f, err := loadData(*data, *seed)
+	if err != nil {
+		log.Fatalf("foresightd: %v", err)
+	}
+	var profile *foresight.Profile
+	if *approx {
+		log.Printf("preprocessing sketches for %s...", f.Summary())
+		profile = foresight.BuildProfile(f, foresight.ProfileConfig{Seed: *seed, Spearman: true})
+	}
+	engine, err := foresight.NewEngine(f, foresight.NewRegistry(), profile)
+	if err != nil {
+		log.Fatalf("foresightd: %v", err)
+	}
+	engine.SetWorkers(*workers)
+	srv := server.New(engine, *k, *approx)
+	log.Printf("foresightd: serving %s on http://localhost%s", f.Summary(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadData(path string, seed int64) (*foresight.Frame, error) {
+	switch strings.ToLower(path) {
+	case "":
+		return nil, fmt.Errorf("missing -data")
+	case "oecd":
+		return foresight.OECDDataset(0, seed), nil
+	case "parkinson":
+		return foresight.ParkinsonDataset(0, seed), nil
+	case "imdb":
+		return foresight.IMDBDataset(0, seed), nil
+	default:
+		return foresight.ReadCSVFile(path, "", nil)
+	}
+}

@@ -1,0 +1,3 @@
+module foresight
+
+go 1.22

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatrixValueAccuracy(t *testing.T) {
+	exact := [][]float64{{1, 0.5}, {0.5, 1}}
+	perfect := [][]float64{{1, 0.5}, {0.5, 1}}
+	if got := matrixValueAccuracy(exact, perfect); got != 100 {
+		t.Errorf("perfect accuracy = %v, want 100", got)
+	}
+	off := [][]float64{{1, 0.7}, {0.7, 1}}
+	if got := matrixValueAccuracy(exact, off); math.Abs(got-80) > 1e-9 {
+		t.Errorf("off-by-0.2 accuracy = %v, want 80", got)
+	}
+	// NaN cells skipped.
+	nan := [][]float64{{1, math.NaN()}, {math.NaN(), 1}}
+	if !math.IsNaN(matrixValueAccuracy(nan, nan)) {
+		t.Error("all-NaN matrix should be NaN")
+	}
+	mixed := [][]float64{{1, math.NaN(), 0.5}, {math.NaN(), 1, 0.2}, {0.5, 0.2, 1}}
+	est := [][]float64{{1, 0.9, 0.5}, {0.9, 1, 0.2}, {0.5, 0.2, 1}}
+	if got := matrixValueAccuracy(mixed, est); got != 100 {
+		t.Errorf("NaN-skipping accuracy = %v, want 100", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	exact := [][]float64{
+		{1, 0.9, 0.1, 0.2},
+		{0.9, 1, 0.3, 0.1},
+		{0.1, 0.3, 1, 0.8},
+		{0.2, 0.1, 0.8, 1},
+	}
+	// Estimate agrees on the two strongest pairs.
+	if got := precisionAtK(exact, exact, 2); got != 1 {
+		t.Errorf("self precision = %v, want 1", got)
+	}
+	// Estimate inverts the ranking entirely.
+	inverted := [][]float64{
+		{1, 0.1, 0.9, 0.8},
+		{0.1, 1, 0.7, 0.9},
+		{0.9, 0.7, 1, 0.1},
+		{0.8, 0.9, 0.1, 1},
+	}
+	if got := precisionAtK(exact, inverted, 2); got != 0 {
+		t.Errorf("inverted precision@2 = %v, want 0", got)
+	}
+	// k larger than available pairs clamps.
+	if got := precisionAtK(exact, exact, 100); got != 1 {
+		t.Errorf("clamped precision = %v, want 1", got)
+	}
+	// Empty matrix → NaN.
+	if !math.IsNaN(precisionAtK(nil, nil, 5)) {
+		t.Error("empty precision should be NaN")
+	}
+}
+
+func TestStandardizeHandlesDegenerate(t *testing.T) {
+	// Constant column: zero vector (prevents NaN poisoning all-pairs).
+	out := standardize([]float64{5, 5, 5}, 5, 0)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant standardize = %v", out)
+		}
+	}
+	// NaN cells become 0 (mean imputation).
+	out2 := standardize([]float64{1, math.NaN(), 3}, 2, 1)
+	if out2[0] != -1 || out2[1] != 0 || out2[2] != 1 {
+		t.Errorf("standardize = %v", out2)
+	}
+}
+
+func TestAllPairsDotSelfConsistency(t *testing.T) {
+	cols := [][]float64{
+		{1, -1, 1, -1},
+		{1, -1, 1, -1},
+		{-1, 1, -1, 1},
+	}
+	m := allPairsDot(cols)
+	if m[0][1] != 1 || m[0][2] != -1 || m[1][2] != -1 {
+		t.Errorf("all-pairs dot wrong: %v", m)
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Error("diagonal must be 1")
+		}
+	}
+}
+
+func TestKLabel(t *testing.T) {
+	if got := kLabel(64, 1000); got != "64" {
+		t.Errorf("kLabel explicit = %q", got)
+	}
+	if got := kLabel(0, 1024); got != "log²n=100" {
+		t.Errorf("kLabel default = %q", got)
+	}
+}

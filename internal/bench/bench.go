@@ -1,0 +1,122 @@
+// Package bench implements the experiment harness that regenerates
+// every figure, table, and quantified claim of the paper's evaluation
+// (see DESIGN.md §5 for the experiment index):
+//
+//	E1  Figure 1   — ranked insight carousels on the OECD-like data
+//	E2  Figure 2   — pairwise-correlation overview heat map
+//	E3  §3 claim   — sketch estimator accuracy (">90% accuracy")
+//	E4  §3 claim   — preprocessing speedup ("3x−4x", single-threaded)
+//	E5  §3 claim   — interactive exploration latency
+//	E6  §2.2       — all-pairs correlation O(|B|²k) vs O(|B|²n)
+//	E7  §4.1       — scripted usage-scenario discoveries
+//	E8  §4.2       — Parkinson / IMDB demo-dataset insights
+//
+// plus ablations over the sketch parameters called out in DESIGN.md.
+// Each experiment prints a human-readable table to its writer and,
+// when outDir is non-empty, writes machine-readable TSV series and
+// SVG figures there.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Table accumulates aligned rows for terminal output and TSV export.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for i := range t.Columns {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTSV writes the table as a TSV file into dir (no-op when dir is
+// empty), named from the slug.
+func (t *Table) WriteTSV(dir, slug string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, "\t") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t") + "\n")
+	}
+	return os.WriteFile(filepath.Join(dir, slug+".tsv"), []byte(b.String()), 0o644)
+}
+
+// writeFile writes content into dir/name (no-op when dir is empty).
+func writeFile(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+// timeIt runs fn once and returns its wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

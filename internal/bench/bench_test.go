@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"foresight/internal/datagen"
+)
+
+func TestTablePrintAndTSV(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.AddRow("x", 1.23456)
+	tbl.AddRow("longer-cell", 2)
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer-cell") {
+		t.Errorf("table output wrong: %q", out)
+	}
+	dir := t.TempDir()
+	if err := tbl.WriteTSV(dir, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a\tb\n") {
+		t.Errorf("tsv header wrong: %q", data)
+	}
+	// Empty dir is a no-op.
+	if err := tbl.WriteTSV("", "x"); err != nil {
+		t.Errorf("empty dir should no-op: %v", err)
+	}
+}
+
+func TestRunE1AndE2(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := RunE1Carousels(&buf, dir, 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E1 / Figure 1") {
+		t.Error("E1 header missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "e1_carousels.tsv")); err != nil {
+		t.Error("E1 TSV missing")
+	}
+	svgs, _ := filepath.Glob(filepath.Join(dir, "e1_top_*.svg"))
+	if len(svgs) < 6 {
+		t.Errorf("E1 wrote only %d SVGs", len(svgs))
+	}
+	buf.Reset()
+	if err := RunE2Overview(&buf, dir, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pairwise correlation overview") {
+		t.Error("E2 header missing")
+	}
+	for _, name := range []string{"e2_matrix.tsv", "e2_correlogram.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("E2 artifact %s missing", name)
+		}
+	}
+}
+
+func TestRunE7ScenarioPasses(t *testing.T) {
+	var buf bytes.Buffer
+	checks, err := RunE7Scenario(&buf, t.TempDir(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 7 {
+		t.Fatalf("only %d scenario checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("scenario check failed: %s (%s)", c.Name, c.Detail)
+		}
+	}
+}
+
+func TestRunE8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE8DemoDatasets(&buf, t.TempDir(), 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "parkinson") || !strings.Contains(out, "imdb") {
+		t.Error("E8 datasets missing from output")
+	}
+	if !strings.Contains(out, "Gross") {
+		t.Error("E8 profitability question missing")
+	}
+}
+
+func TestRunE3AccuracySmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunE3Accuracy(&buf, t.TempDir(), E3Config{Rows: 4000, Dims: []int{12}, K: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E3: sketch accuracy") {
+		t.Error("E3 header missing")
+	}
+}
+
+func TestRunE4E6Small(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE4Preprocess(&buf, "", E4Config{Rows: 3000, Dims: []int{10}, K: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("E4 speedup column missing")
+	}
+	buf.Reset()
+	if err := RunE6AllPairs(&buf, "", E6Config{Dims: 10, RowsSet: []int{1000, 2000}, K: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all-pairs") {
+		t.Error("E6 header missing")
+	}
+}
+
+func TestRunE5Small(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE5QueryLatency(&buf, "", E5Config{Rows: 3000, Dims: 12, K: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"carousels", "range filter", "neighborhood", "overview"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5 missing row %q", want)
+		}
+	}
+}
+
+func TestExactStoreMatchesStats(t *testing.T) {
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 2000, NumericCols: 8, Seed: 5, MissingEvery: 3})
+	st := BuildExactStore(f, true)
+	if len(st.Pearson) != len(f.NumericColumns()) {
+		t.Fatal("exact store shape wrong")
+	}
+	// Symmetry and diagonal.
+	for i := range st.Pearson {
+		if st.Pearson[i][i] != 1 {
+			t.Error("diagonal must be 1")
+		}
+		for j := range st.Pearson[i] {
+			if st.Pearson[i][j] != st.Pearson[j][i] {
+				t.Error("pearson matrix asymmetric")
+			}
+		}
+	}
+	// Spearman bounded.
+	for i := range st.Spearman {
+		for j := range st.Spearman[i] {
+			v := st.Spearman[i][j]
+			if v < -1.01 || v > 1.01 {
+				t.Errorf("spearman out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestAblationsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAblationK(&buf, "", 2000, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAblationKLL(&buf, "", 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAblationHeavy(&buf, "", 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAblationEntropy(&buf, "", 20000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAblationReservoir(&buf, "", 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAblationMultimodality(&buf, "", 4000, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hyperplane width", "KLL compactor", "SpaceSaving capacity", "entropy estimator", "row-sample size", "multimodality metrics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

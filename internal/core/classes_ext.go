@@ -1,0 +1,181 @@
+package core
+
+import (
+	"foresight/internal/frame"
+	"foresight/internal/sketch"
+	"foresight/internal/stats"
+)
+
+// This file holds optional insight classes beyond the paper's twelve
+// built-ins, shipped as constructors the user registers explicitly
+// (the §2.2 plug-in path):
+//
+//	reg := core.NewRegistry()
+//	reg.Register(core.NewNonlinearDependenceClass(0))
+
+// nonlinearClass detects general statistical dependence between two
+// numeric attributes — including non-monotone shapes like y = x² that
+// both Pearson and Spearman miss — ranked by normalized binned mutual
+// information (equal-frequency bins, so the metric is invariant under
+// monotone transforms of either attribute).
+type nonlinearClass struct {
+	bins int
+}
+
+// NewNonlinearDependenceClass returns the numeric×numeric
+// general-dependence class with the given quantile-bin count (8 when
+// ≤ 0).
+func NewNonlinearDependenceClass(bins int) Class {
+	if bins <= 0 {
+		bins = 8
+	}
+	return &nonlinearClass{bins: bins}
+}
+
+func (c *nonlinearClass) Name() string { return "nonlinear" }
+func (c *nonlinearClass) Description() string {
+	return "General (possibly non-monotone) dependence between two numeric attributes"
+}
+func (c *nonlinearClass) Arity() int        { return 2 }
+func (c *nonlinearClass) Metrics() []string { return []string{"normmi", "mi"} }
+func (c *nonlinearClass) VisKind() VisKind  { return VisScatter }
+
+func (c *nonlinearClass) Candidates(f *frame.Frame) [][]string { return numericPairs(f) }
+
+func (c *nonlinearClass) score(xs, ys []float64, attrs []string, metric string, approx bool) Insight {
+	var raw float64
+	switch metric {
+	case "normmi":
+		raw = stats.NormalizedBinnedMI(xs, ys, c.bins)
+	case "mi":
+		raw = stats.BinnedMutualInformation(xs, ys, c.bins)
+	}
+	return Insight{
+		Class:  "nonlinear",
+		Metric: metric,
+		Attrs:  attrs,
+		Score:  raw,
+		Raw:    raw,
+		Approx: approx,
+		Vis:    VisScatter,
+		Details: map[string]float64{
+			"bins": float64(c.bins),
+		},
+	}
+}
+
+func (c *nonlinearClass) Score(f *frame.Frame, attrs []string, metric string) (Insight, error) {
+	if err := checkArity("nonlinear", attrs, 2); err != nil {
+		return Insight{}, err
+	}
+	metric, err := validateMetric(c, metric)
+	if err != nil {
+		return Insight{}, err
+	}
+	x, err := f.Numeric(attrs[0])
+	if err != nil {
+		return Insight{}, err
+	}
+	y, err := f.Numeric(attrs[1])
+	if err != nil {
+		return Insight{}, err
+	}
+	return c.score(x.Values(), y.Values(), attrs, metric, false), nil
+}
+
+func (c *nonlinearClass) ScoreApprox(p *sketch.DatasetProfile, attrs []string, metric string) (Insight, error) {
+	if err := checkArity("nonlinear", attrs, 2); err != nil {
+		return Insight{}, err
+	}
+	metric, err := validateMetric(c, metric)
+	if err != nil {
+		return Insight{}, err
+	}
+	x, err := p.NumericProfileOf(attrs[0])
+	if err != nil {
+		return Insight{}, err
+	}
+	y, err := p.NumericProfileOf(attrs[1])
+	if err != nil {
+		return Insight{}, err
+	}
+	return c.score(x.RowSampleValues, y.RowSampleValues, attrs, metric, true), nil
+}
+
+// normalityClass ranks numeric attributes by closeness to a normal
+// distribution (the §4.1 scenario surfaces "Time Devoted To Leisure
+// has a Normal distribution" as an insight). The metric is a
+// Jarque–Bera-derived score in (0, 1]; 1 means moment-perfect
+// normality. Computed from the moments sketch, so exact and approx
+// paths agree.
+type normalityClass struct{}
+
+// NewNormalityClass returns the optional normality insight class.
+func NewNormalityClass() Class { return &normalityClass{} }
+
+func (c *normalityClass) Name() string { return "normality" }
+func (c *normalityClass) Description() string {
+	return "Distribution close to normal (low Jarque–Bera)"
+}
+func (c *normalityClass) Arity() int        { return 1 }
+func (c *normalityClass) Metrics() []string { return []string{"normscore", "jarquebera"} }
+func (c *normalityClass) VisKind() VisKind  { return VisHistogram }
+
+func (c *normalityClass) Candidates(f *frame.Frame) [][]string {
+	return numericCandidates(f)
+}
+
+func normalityInsight(m *sketch.Moments, attrs []string, metric string, approx bool) Insight {
+	in := Insight{
+		Class:  "normality",
+		Metric: metric,
+		Attrs:  attrs,
+		Approx: approx,
+		Vis:    VisHistogram,
+		Details: map[string]float64{
+			"skewness": m.Skewness(),
+			"kurtosis": m.Kurtosis(),
+		},
+	}
+	switch metric {
+	case "normscore":
+		in.Raw = m.NormalityScore()
+		in.Score = in.Raw
+	case "jarquebera":
+		in.Raw = m.JarqueBera()
+		// Ranking key must be higher = more insight; for raw JB the
+		// insight is *normality*, so invert.
+		in.Score = m.NormalityScore()
+	}
+	return in
+}
+
+func (c *normalityClass) Score(f *frame.Frame, attrs []string, metric string) (Insight, error) {
+	if err := checkArity("normality", attrs, 1); err != nil {
+		return Insight{}, err
+	}
+	metric, err := validateMetric(c, metric)
+	if err != nil {
+		return Insight{}, err
+	}
+	col, err := f.Numeric(attrs[0])
+	if err != nil {
+		return Insight{}, err
+	}
+	return normalityInsight(stats.NewMoments(col.Values()), attrs, metric, false), nil
+}
+
+func (c *normalityClass) ScoreApprox(p *sketch.DatasetProfile, attrs []string, metric string) (Insight, error) {
+	if err := checkArity("normality", attrs, 1); err != nil {
+		return Insight{}, err
+	}
+	metric, err := validateMetric(c, metric)
+	if err != nil {
+		return Insight{}, err
+	}
+	np, err := p.NumericProfileOf(attrs[0])
+	if err != nil {
+		return Insight{}, err
+	}
+	return normalityInsight(&np.Moments, attrs, metric, true), nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"foresight/internal/frame"
+	"foresight/internal/sketch"
+	"foresight/internal/stats"
+)
+
+// parabolaFrame plants y = x² (non-monotone dependence) plus noise
+// columns.
+func parabolaFrame(n int, seed int64) *frame.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	noise := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i]*x[i] + 0.05*rng.NormFloat64()
+		noise[i] = rng.NormFloat64()
+	}
+	return frame.MustNew("parabola",
+		frame.NewNumericColumn("x", x),
+		frame.NewNumericColumn("y", y),
+		frame.NewNumericColumn("noise", noise),
+	)
+}
+
+func TestNonlinearClassFindsParabola(t *testing.T) {
+	f := parabolaFrame(5000, 61)
+	c := NewNonlinearDependenceClass(0)
+	if c.Name() != "nonlinear" || c.Arity() != 2 {
+		t.Fatal("class identity wrong")
+	}
+	ins := ScoreAll(c, f, "")
+	if len(ins) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(ins))
+	}
+	if !sameAttrs(ins[0].Attrs, []string{"x", "y"}) {
+		t.Fatalf("top nonlinear pair = %v, want x,y", ins[0].Attrs)
+	}
+	if ins[0].Score < 0.5 {
+		t.Errorf("parabola normmi = %v, want strong", ins[0].Score)
+	}
+	// The same pair is invisible to Pearson and weak for Spearman.
+	xc, _ := f.Numeric("x")
+	yc, _ := f.Numeric("y")
+	if r := math.Abs(stats.Pearson(xc.Values(), yc.Values())); r > 0.2 {
+		t.Errorf("parabola |pearson| = %v, expected near 0", r)
+	}
+	if r := math.Abs(stats.Spearman(xc.Values(), yc.Values())); r > 0.2 {
+		t.Errorf("parabola |spearman| = %v, expected near 0", r)
+	}
+	// Independent pairs score near 0.
+	last := ins[len(ins)-1]
+	if last.Score > 0.1 {
+		t.Errorf("independent pair normmi = %v, want ≈0", last.Score)
+	}
+}
+
+func TestNonlinearClassApprox(t *testing.T) {
+	f := parabolaFrame(8000, 62)
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{Seed: 1, K: 32, RowSampleSize: 4096})
+	c := NewNonlinearDependenceClass(8)
+	exact, err := c.Score(f, []string{"x", "y"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := c.ScoreApprox(p, []string{"x", "y"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.Approx {
+		t.Error("approx flag missing")
+	}
+	if math.Abs(exact.Score-approx.Score) > 0.15 {
+		t.Errorf("approx %v vs exact %v", approx.Score, exact.Score)
+	}
+	// Raw MI metric variant.
+	mi, err := c.Score(f, []string{"x", "y"}, "mi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi.Raw-exact.Raw*math.Log(8)) > 1e-9 {
+		t.Errorf("mi %v should equal normmi·log(bins) %v", mi.Raw, exact.Raw*math.Log(8))
+	}
+}
+
+func TestNonlinearClassErrorsAndRegistry(t *testing.T) {
+	f := parabolaFrame(200, 63)
+	c := NewNonlinearDependenceClass(0)
+	if _, err := c.Score(f, []string{"x"}, ""); err == nil {
+		t.Error("arity error expected")
+	}
+	if _, err := c.Score(f, []string{"x", "zzz"}, ""); err == nil {
+		t.Error("missing column error expected")
+	}
+	if _, err := c.Score(f, []string{"x", "y"}, "bogus"); err == nil {
+		t.Error("unknown metric error expected")
+	}
+	// Too few rows for the bin grid → NaN → dropped by ScoreAll.
+	tiny := parabolaFrame(20, 64)
+	if got := ScoreAll(c, tiny, ""); len(got) != 0 {
+		t.Errorf("tiny frame should produce no MI insights, got %d", len(got))
+	}
+	// Registers as a plug-in alongside the built-ins.
+	reg := NewRegistry()
+	if err := reg.Register(c); err != nil {
+		t.Fatalf("plug-in registration: %v", err)
+	}
+	if len(reg.Names()) != 13 {
+		t.Errorf("registry size = %d, want 13", len(reg.Names()))
+	}
+}
+
+func TestBinnedMIInvariantUnderMonotone(t *testing.T) {
+	f := parabolaFrame(4000, 65)
+	x, _ := f.Numeric("x")
+	y, _ := f.Numeric("y")
+	before := stats.NormalizedBinnedMI(x.Values(), y.Values(), 8)
+	// Monotone transform of x.
+	tx := make([]float64, x.Len())
+	for i, v := range x.Values() {
+		tx[i] = math.Exp(v)
+	}
+	after := stats.NormalizedBinnedMI(tx, y.Values(), 8)
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("MI not invariant: %v vs %v", before, after)
+	}
+}
+
+func TestNormalityClass(t *testing.T) {
+	n := 5000
+	rng := rand.New(rand.NewSource(71))
+	normal := make([]float64, n)
+	skewed := make([]float64, n)
+	for i := 0; i < n; i++ {
+		normal[i] = rng.NormFloat64()*2 + 5
+		skewed[i] = math.Exp(rng.NormFloat64())
+	}
+	f := frame.MustNew("t",
+		frame.NewNumericColumn("normal", normal),
+		frame.NewNumericColumn("skewed", skewed),
+	)
+	c := NewNormalityClass()
+	ins := ScoreAll(c, f, "")
+	if len(ins) != 2 {
+		t.Fatalf("insights = %d", len(ins))
+	}
+	if ins[0].Attrs[0] != "normal" {
+		t.Errorf("top normality = %v, want normal", ins[0].Attrs)
+	}
+	if ins[0].Score < 0.9 || ins[1].Score > 0.2 {
+		t.Errorf("scores = %v / %v, want ≈1 and ≈0", ins[0].Score, ins[1].Score)
+	}
+	// JB metric variant ranks identically but exposes raw JB.
+	jb, err := c.Score(f, []string{"skewed"}, "jarquebera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Raw < 100 {
+		t.Errorf("lognormal JB raw = %v, want large", jb.Raw)
+	}
+	// Approx path agrees exactly (moments sketch is exact).
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{Seed: 1, K: 16})
+	approx, err := c.ScoreApprox(p, []string{"normal"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := c.Score(f, []string{"normal"}, "")
+	if math.Abs(approx.Score-exact.Score) > 1e-12 {
+		t.Errorf("approx %v != exact %v", approx.Score, exact.Score)
+	}
+	if !approx.Approx {
+		t.Error("approx flag missing")
+	}
+	// Errors.
+	if _, err := c.Score(f, []string{"nope"}, ""); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := c.Score(f, nil, ""); err == nil {
+		t.Error("arity should error")
+	}
+	if _, err := c.ScoreApprox(p, []string{"nope"}, ""); err == nil {
+		t.Error("approx missing column should error")
+	}
+}

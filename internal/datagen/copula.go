@@ -1,0 +1,283 @@
+// Package datagen generates the synthetic datasets this reproduction
+// substitutes for the paper's demo data (OECD well-being, PPMI
+// Parkinson, IMDB movies — see DESIGN.md §2) and the scalable
+// workloads behind the performance experiments.
+//
+// Numeric columns are drawn through a Gaussian copula: a target
+// correlation matrix is Cholesky-factored, correlated standard
+// normals are generated, and each column is pushed through a monotone
+// marginal transform (normal, lognormal, left-skew, uniform, Pareto,
+// bimodal). Monotone transforms preserve rank structure, so planted
+// Spearman correlations survive arbitrary marginals and planted
+// Pearson correlations survive approximately.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Marginal maps a standard normal draw to a target distribution via a
+// monotone transform.
+type Marginal interface {
+	// Transform maps z ~ N(0,1) to the marginal's scale.
+	Transform(z float64) float64
+}
+
+// Normal is the N(Mu, Sd²) marginal.
+type Normal struct{ Mu, Sd float64 }
+
+// Transform implements Marginal.
+func (m Normal) Transform(z float64) float64 { return m.Mu + m.Sd*z }
+
+// LogNormal is exp(Mu + Sigma·z): right-skewed, heavy right tail.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Transform implements Marginal.
+func (m LogNormal) Transform(z float64) float64 { return math.Exp(m.Mu + m.Sigma*z) }
+
+// LeftSkew is Max − exp(Mu + Sigma·(−z)): left-skewed with a hard
+// upper bound, like a "% satisfied" indicator that saturates.
+type LeftSkew struct{ Max, Mu, Sigma float64 }
+
+// Transform implements Marginal.
+func (m LeftSkew) Transform(z float64) float64 { return m.Max - math.Exp(m.Mu-m.Sigma*z) }
+
+// Uniform maps through the normal CDF to [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Transform implements Marginal.
+func (m Uniform) Transform(z float64) float64 {
+	return m.Lo + (m.Hi-m.Lo)*normCDF(z)
+}
+
+// Pareto is the heavy-tailed power law xm·(1−Φ(z))^(−1/α); smaller
+// Alpha means heavier tails (α ≤ 2 has infinite variance).
+type Pareto struct{ Xm, Alpha float64 }
+
+// Transform implements Marginal.
+func (m Pareto) Transform(z float64) float64 {
+	u := normCDF(z)
+	if u >= 1 {
+		u = 1 - 1e-12
+	}
+	return m.Xm * math.Pow(1-u, -1/m.Alpha)
+}
+
+// Bimodal is z + Sep·tanh(Sharp·z): a monotone transform with two
+// modes ±≈Sep; Sharp controls the valley depth (3 when zero).
+type Bimodal struct{ Sep, Sharp float64 }
+
+// Transform implements Marginal.
+func (m Bimodal) Transform(z float64) float64 {
+	sharp := m.Sharp
+	if sharp == 0 {
+		sharp = 3
+	}
+	return z + m.Sep*math.Tanh(sharp*z)
+}
+
+// Scaled wraps a marginal with an affine map a + b·inner(z).
+type Scaled struct {
+	Inner Marginal
+	A, B  float64
+}
+
+// Transform implements Marginal.
+func (m Scaled) Transform(z float64) float64 { return m.A + m.B*m.Inner.Transform(z) }
+
+func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// Cholesky returns the lower-triangular factor L with LLᵀ = m. When m
+// is not positive definite it retries with growing diagonal jitter
+// (up to 1e-2) before failing, so nearly-PSD hand-written correlation
+// matrices are accepted.
+func Cholesky(m [][]float64) ([][]float64, error) {
+	d := len(m)
+	for _, row := range m {
+		if len(row) != d {
+			return nil, fmt.Errorf("datagen: correlation matrix is not square")
+		}
+	}
+	jitters := []float64{0, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2}
+	for _, jitter := range jitters {
+		l, ok := tryCholesky(m, jitter)
+		if ok {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("datagen: matrix is not positive definite (even with jitter)")
+}
+
+func tryCholesky(m [][]float64, jitter float64) ([][]float64, bool) {
+	d := len(m)
+	l := make([][]float64, d)
+	for i := range l {
+		l[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i][j]
+			if i == j {
+				sum += jitter
+			}
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, true
+}
+
+// Identity returns the d×d identity correlation matrix.
+func Identity(d int) [][]float64 {
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = make([]float64, d)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// SetCorr sets m[i][j] = m[j][i] = rho.
+func SetCorr(m [][]float64, i, j int, rho float64) {
+	m[i][j] = rho
+	m[j][i] = rho
+}
+
+// CopulaTable draws n rows of d correlated columns: z-vectors L·ε with
+// ε ~ N(0, I), each column pushed through its marginal. The result is
+// column-major ([col][row]). len(marginals) must equal the matrix
+// dimension.
+func CopulaTable(n int, corr [][]float64, marginals []Marginal, rng *rand.Rand) ([][]float64, error) {
+	d := len(corr)
+	if len(marginals) != d {
+		return nil, fmt.Errorf("datagen: %d marginals for %d columns", len(marginals), d)
+	}
+	l, err := Cholesky(corr)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+	}
+	eps := make([]float64, d)
+	for row := 0; row < n; row++ {
+		for j := 0; j < d; j++ {
+			eps[j] = rng.NormFloat64()
+		}
+		for j := 0; j < d; j++ {
+			z := 0.0
+			for k := 0; k <= j; k++ {
+				z += l[j][k] * eps[k]
+			}
+			cols[j][row] = marginals[j].Transform(z)
+		}
+	}
+	return cols, nil
+}
+
+// PlantOutliers replaces every stride-th value of col with extreme
+// points at ±sigmas standard deviations from the mean (alternating
+// sign), returning the number planted. It mutates col.
+func PlantOutliers(col []float64, stride int, sigmas float64) int {
+	if stride < 1 {
+		stride = 97
+	}
+	mean, sd := meanStd(col)
+	if sd == 0 {
+		return 0
+	}
+	planted := 0
+	sign := 1.0
+	for i := stride - 1; i < len(col); i += stride {
+		col[i] = mean + sign*sigmas*sd
+		sign = -sign
+		planted++
+	}
+	return planted
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	n := 0
+	sum := 0.0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	mean := sum / float64(n)
+	ss := 0.0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			ss += (x - mean) * (x - mean)
+		}
+	}
+	return mean, math.Sqrt(ss / float64(n))
+}
+
+// PlantMissing replaces every stride-th value with NaN, returning the
+// count planted. It mutates col.
+func PlantMissing(col []float64, stride int) int {
+	if stride < 1 {
+		return 0
+	}
+	planted := 0
+	for i := stride - 1; i < len(col); i += stride {
+		col[i] = math.NaN()
+		planted++
+	}
+	return planted
+}
+
+// ZipfStrings draws n strings "prefix<i>" with Zipf(s) frequencies
+// over cardinality distinct values.
+func ZipfStrings(n int, prefix string, cardinality int, s float64, rng *rand.Rand) []string {
+	if cardinality < 1 {
+		cardinality = 1
+	}
+	if s <= 1 {
+		s = 1.5
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(cardinality-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, z.Uint64())
+	}
+	return out
+}
+
+// UniformStrings draws n strings uniformly over cardinality values.
+func UniformStrings(n int, prefix string, cardinality int, rng *rand.Rand) []string {
+	if cardinality < 1 {
+		cardinality = 1
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, rng.Intn(cardinality))
+	}
+	return out
+}

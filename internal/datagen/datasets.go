@@ -1,0 +1,340 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"foresight/internal/frame"
+)
+
+// OECD synthesizes the demo paper's OECD well-being dataset: 25
+// attributes (24 numeric indicators + the Country name) for n member
+// countries (35 in the paper). The §4.1 usage scenario's statistical
+// facts are planted through factor loadings:
+//
+//   - WorkingLongHours ↔ TimeDevotedToLeisure strongly negative,
+//   - LifeSatisfaction ↔ SelfReportedHealth strongly positive,
+//   - TimeDevotedToLeisure ⟂ SelfReportedHealth (disjoint factors),
+//   - SelfReportedHealth left-skewed, TimeDevotedToLeisure normal.
+func OECD(n int, seed int64) *frame.Frame {
+	if n <= 0 {
+		n = 35
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := []ColumnSpec{
+		{Name: "LifeSatisfaction", Loadings: map[string]float64{"wellbeing": 0.92, "wealth": 0.2},
+			Marginal: Scaled{Inner: Normal{Mu: 6.5, Sd: 0.8}, A: 0, B: 1},
+			Meta:     frame.Metadata{Semantic: frame.SemanticScore, Unit: "0-10", Description: "Average life satisfaction score"}},
+		{Name: "SelfReportedHealth", Loadings: map[string]float64{"wellbeing": 0.92, "health": 0.25},
+			Marginal: LeftSkew{Max: 95, Mu: 2.8, Sigma: 0.8},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%", Description: "Share reporting good health"}},
+		{Name: "TimeDevotedToLeisure", Loadings: map[string]float64{"worklife": 0.9},
+			Marginal: Normal{Mu: 14.5, Sd: 0.7},
+			Meta:     frame.Metadata{Unit: "hours/day", Description: "Time devoted to leisure and personal care"}},
+		{Name: "WorkingLongHours", Loadings: map[string]float64{"worklife": -0.9},
+			Marginal: LogNormal{Mu: 2.0, Sigma: 0.7},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%", Description: "Employees working very long hours"}},
+		{Name: "EmploymentRate", Loadings: map[string]float64{"work": 0.85, "wealth": 0.3},
+			Marginal: Normal{Mu: 68, Sd: 7},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "LongTermUnemployment", Loadings: map[string]float64{"work": -0.8},
+			Marginal: LogNormal{Mu: 0.6, Sigma: 0.8},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "JobSecurity", Loadings: map[string]float64{"work": 0.6},
+			Marginal: Normal{Mu: 77, Sd: 6}},
+		{Name: "LabourMarketInsecurity", Loadings: map[string]float64{"work": -0.65},
+			Marginal: LogNormal{Mu: 1.4, Sigma: 0.5}},
+		{Name: "PersonalEarnings", Loadings: map[string]float64{"wealth": 0.85},
+			Marginal: LogNormal{Mu: 10.5, Sigma: 0.35},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "HouseholdIncome", Loadings: map[string]float64{"wealth": 0.9, "wellbeing": 0.2},
+			Marginal: LogNormal{Mu: 10.1, Sigma: 0.3},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "HouseholdWealth", Loadings: map[string]float64{"wealth": 0.85},
+			Marginal: LogNormal{Mu: 12.3, Sigma: 0.55},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "EducationalAttainment", Loadings: map[string]float64{"education": 0.85},
+			Marginal: LeftSkew{Max: 98, Mu: 3.0, Sigma: 0.4},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "YearsInEducation", Loadings: map[string]float64{"education": 0.75},
+			Marginal: Normal{Mu: 17.5, Sd: 1.2},
+			Meta:     frame.Metadata{Unit: "years"}},
+		{Name: "StudentSkills", Loadings: map[string]float64{"education": 0.7},
+			Marginal: Normal{Mu: 490, Sd: 25},
+			Meta:     frame.Metadata{Semantic: frame.SemanticScore, Unit: "PISA"}},
+		{Name: "LifeExpectancy", Loadings: map[string]float64{"health": 0.85},
+			Marginal: LeftSkew{Max: 86, Mu: 1.6, Sigma: 0.4},
+			Meta:     frame.Metadata{Unit: "years"}},
+		{Name: "WaterQuality", Loadings: map[string]float64{"environment": 0.8, "health": 0.25},
+			Marginal: LeftSkew{Max: 98, Mu: 2.6, Sigma: 0.35},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "AirPollution", Loadings: map[string]float64{"environment": -0.75},
+			Marginal: LogNormal{Mu: 2.5, Sigma: 0.45},
+			Meta:     frame.Metadata{Unit: "µg/m³ PM2.5"}},
+		{Name: "Homicides", Loadings: map[string]float64{"safety": -0.85},
+			Marginal: LogNormal{Mu: 0.1, Sigma: 0.9},
+			Meta:     frame.Metadata{Unit: "per 100k"}},
+		{Name: "FeelingSafeAtNight", Loadings: map[string]float64{"safety": 0.8},
+			Marginal: Normal{Mu: 70, Sd: 9},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "VoterTurnout", Loadings: map[string]float64{"civic": 0.8},
+			Marginal: Normal{Mu: 68, Sd: 11},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "SocialSupport", Loadings: map[string]float64{"wellbeing": 0.5, "civic": 0.4},
+			Marginal: LeftSkew{Max: 99, Mu: 2.3, Sigma: 0.4},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "DwellingsWithFacilities", Loadings: map[string]float64{"wealth": 0.55},
+			Marginal: LeftSkew{Max: 100, Mu: 1.2, Sigma: 0.8},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "%"}},
+		{Name: "HousingExpenditure", Loadings: map[string]float64{"wealth": -0.35},
+			Marginal: Normal{Mu: 20.5, Sd: 1.8},
+			Meta:     frame.Metadata{Semantic: frame.SemanticPercent, Unit: "% of income"}},
+		{Name: "RoomsPerPerson", Loadings: map[string]float64{"wealth": 0.7},
+			Marginal: Normal{Mu: 1.7, Sd: 0.35},
+			Meta:     frame.Metadata{Unit: "rooms"}},
+	}
+	countries := make([]string, n)
+	for i := range countries {
+		countries[i] = fmt.Sprintf("Country%02d", i+1)
+	}
+	extra := []frame.Column{frame.NewCategoricalColumn("Country", countries)}
+	f, err := BuildFrame("oecd", n, specs, extra, rng)
+	if err != nil {
+		panic(err) // specs are static and valid
+	}
+	return f
+}
+
+// Parkinson synthesizes the PPMI-style clinical dataset of §4.2:
+// n rows (2000 in the paper) × 50 columns. A latent disease-severity
+// score, shifted per cohort (PD / Prodromal / HealthyControl), drives
+// the motor and cognitive scores, so the cohort column segments the
+// score space; biomarkers are skewed, one has planted outliers, and
+// two columns carry realistic missingness.
+func Parkinson(n int, seed int64) *frame.Frame {
+	if n <= 0 {
+		n = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	cohorts := make([]string, n)
+	severity := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.60:
+			cohorts[i] = "PD"
+			severity[i] = 1.6 + 0.6*rng.NormFloat64()
+		case r < 0.75:
+			cohorts[i] = "Prodromal"
+			severity[i] = 0.6 + 0.5*rng.NormFloat64()
+		default:
+			cohorts[i] = "HealthyControl"
+			severity[i] = -1.2 + 0.4*rng.NormFloat64()
+		}
+	}
+
+	// clinical score: load·severity + noise, affine-mapped, clamped ≥ 0.
+	score := func(load, scale, offset, noise float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			v := offset + scale*(load*severity[i]+noise*rng.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			out[i] = v
+		}
+		return out
+	}
+
+	cols := []frame.Column{
+		frame.NewCategoricalColumn("Cohort", cohorts),
+		frame.NewCategoricalColumn("Sex", UniformStrings(n, "sex", 2, rng)),
+		frame.NewCategoricalColumn("Site", UniformStrings(n, "site", 20, rng)),
+		frame.NewCategoricalColumn("Handedness", UniformStrings(n, "hand", 3, rng)),
+		frame.NewCategoricalColumn("Medication", ZipfStrings(n, "med", 8, 1.6, rng)),
+		frame.NewCategoricalColumn("RaceGroup", ZipfStrings(n, "race", 6, 1.8, rng)),
+	}
+
+	numeric := map[string][]float64{
+		"UPDRS_Total":     score(1.0, 12, 30, 0.5),
+		"UPDRS_Part1":     score(0.8, 3, 8, 0.6),
+		"UPDRS_Part2":     score(0.9, 5, 11, 0.5),
+		"UPDRS_Part3":     score(0.95, 8, 20, 0.4),
+		"TremorScore":     score(0.75, 2.5, 4, 0.7),
+		"RigidityScore":   score(0.8, 2.2, 4, 0.6),
+		"BradykinesiaSum": score(0.85, 4, 8, 0.5),
+		"GaitScore":       score(0.7, 1.5, 2, 0.7),
+		"MoCA":            score(-0.6, 2.2, 26, 0.8), // cognition declines
+		"SDMT":            score(-0.5, 8, 45, 0.9),
+		"ESS_Sleepiness":  score(0.4, 3, 7, 0.9),
+		"RBDQ":            score(0.5, 2.5, 4, 0.9),
+		"GDS_Depression":  score(0.45, 2, 3, 0.9),
+		"STAI_Anxiety":    score(0.4, 9, 36, 0.9),
+		"SCOPA_Autonomic": score(0.5, 4, 9, 0.9),
+	}
+	// Biomarkers: skewed, partially severity-linked.
+	biomarkers := []struct {
+		name  string
+		load  float64
+		mu    float64
+		sigma float64
+	}{
+		{"CSF_Abeta42", -0.35, 6.6, 0.35}, {"CSF_TotalTau", 0.3, 5.2, 0.4},
+		{"CSF_pTau181", 0.3, 2.8, 0.45}, {"CSF_aSynuclein", -0.4, 7.4, 0.4},
+		{"SerumNfL", 0.45, 2.5, 0.5}, {"UrateLevel", -0.25, 1.6, 0.3},
+		{"Ferritin", 0.1, 4.4, 0.6}, {"VitaminD", -0.15, 3.3, 0.4},
+		{"CRP_Inflammation", 0.2, 0.4, 0.8}, {"Homocysteine", 0.25, 2.4, 0.35},
+	}
+	for _, b := range biomarkers {
+		vals := make([]float64, n)
+		for i := range vals {
+			z := b.load*severity[i] + math.Sqrt(math.Max(0, 1-b.load*b.load))*rng.NormFloat64()
+			vals[i] = math.Exp(b.mu + b.sigma*z)
+		}
+		numeric[b.name] = vals
+	}
+	// DAT-scan striatal binding ratios: decline with severity.
+	for _, region := range []string{"Caudate_L", "Caudate_R", "Putamen_L", "Putamen_R"} {
+		vals := make([]float64, n)
+		for i := range vals {
+			v := 2.6 - 0.55*severity[i] + 0.3*rng.NormFloat64()
+			if v < 0.2 {
+				v = 0.2
+			}
+			vals[i] = v
+		}
+		numeric["SBR_"+region] = vals
+	}
+	// Demographics & misc.
+	age := make([]float64, n)
+	onset := make([]float64, n)
+	duration := make([]float64, n)
+	for i := range age {
+		age[i] = 62 + 9*rng.NormFloat64()
+		duration[i] = math.Max(0, 1.2+0.8*severity[i]+0.9*rng.NormFloat64())
+		onset[i] = age[i] - duration[i]
+	}
+	numeric["AgeAtVisit"] = age
+	numeric["AgeAtOnset"] = onset
+	numeric["DiseaseDuration"] = duration
+	misc := []string{"EducationYears", "BMI", "SystolicBP", "DiastolicBP", "HeartRate",
+		"WeightKg", "HeightCm", "HoehnYahr", "PDQ39_QoL", "VisitNumber", "SleepHours", "CaffeineMgDay"}
+	for mi, name := range misc {
+		vals := make([]float64, n)
+		base := 20 + float64(mi)*11
+		for i := range vals {
+			vals[i] = base + 0.1*base*rng.NormFloat64()
+		}
+		numeric[name] = vals
+	}
+	// Planted outliers and missingness.
+	PlantOutliers(numeric["CRP_Inflammation"], 211, 9)
+	PlantMissing(numeric["CSF_Abeta42"], 17)
+	PlantMissing(numeric["SDMT"], 23)
+
+	// Deterministic column order.
+	names := make([]string, 0, len(numeric))
+	for name := range numeric {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		cols = append(cols, frame.NewNumericColumn(name, numeric[name]))
+	}
+	f, err := frame.New("parkinson", cols...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// IMDB synthesizes the movie dataset of §4.2: n rows (5000 in the
+// paper) × 28 columns. A popularity factor couples gross, vote counts
+// and social-media metrics (all heavy-tailed); a quality factor
+// couples critic reviews and score; budget and gross correlate so
+// profitability questions have answers; director and actor columns
+// are Zipf heavy-hitter categoricals.
+func IMDB(n int, seed int64) *frame.Frame {
+	if n <= 0 {
+		n = 5000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	specs := []ColumnSpec{
+		{Name: "Budget", Loadings: map[string]float64{"scale": 0.85},
+			Marginal: LogNormal{Mu: 16.8, Sigma: 1.2},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "Gross", Loadings: map[string]float64{"scale": 0.7, "popularity": 0.55},
+			Marginal: LogNormal{Mu: 16.5, Sigma: 1.5},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "IMDBScore", Loadings: map[string]float64{"quality": 0.85},
+			Marginal: Normal{Mu: 6.4, Sd: 0.9},
+			Meta:     frame.Metadata{Semantic: frame.SemanticScore, Unit: "1-10"}},
+		{Name: "NumVotedUsers", Loadings: map[string]float64{"popularity": 0.8, "quality": 0.35},
+			Marginal: LogNormal{Mu: 10.8, Sigma: 1.4},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "NumUserReviews", Loadings: map[string]float64{"popularity": 0.75, "quality": 0.3},
+			Marginal: LogNormal{Mu: 5.4, Sigma: 1.1},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "NumCriticReviews", Loadings: map[string]float64{"popularity": 0.5, "quality": 0.5},
+			Marginal: LogNormal{Mu: 4.9, Sigma: 0.9},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "MovieFBLikes", Loadings: map[string]float64{"popularity": 0.8},
+			Marginal: LogNormal{Mu: 8.4, Sigma: 1.8},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "DirectorFBLikes", Loadings: map[string]float64{"popularity": 0.45},
+			Marginal: LogNormal{Mu: 5.6, Sigma: 1.9}},
+		{Name: "Actor1FBLikes", Loadings: map[string]float64{"popularity": 0.5},
+			Marginal: LogNormal{Mu: 7.9, Sigma: 1.6}},
+		{Name: "Actor2FBLikes", Loadings: map[string]float64{"popularity": 0.45},
+			Marginal: LogNormal{Mu: 6.8, Sigma: 1.5}},
+		{Name: "Actor3FBLikes", Loadings: map[string]float64{"popularity": 0.4},
+			Marginal: LogNormal{Mu: 6.0, Sigma: 1.4}},
+		{Name: "CastTotalFBLikes", Loadings: map[string]float64{"popularity": 0.55},
+			Marginal: LogNormal{Mu: 9.2, Sigma: 1.3}},
+		{Name: "Duration", Loadings: map[string]float64{"scale": 0.35, "quality": 0.25},
+			Marginal: Normal{Mu: 108, Sd: 18}, Meta: frame.Metadata{Unit: "minutes"}},
+		{Name: "TitleYear", Loadings: map[string]float64{"era": 0.9},
+			Marginal: LeftSkew{Max: 2017, Mu: 2.6, Sigma: 0.55},
+			Meta:     frame.Metadata{Semantic: frame.SemanticDate, Unit: "year"}},
+		{Name: "FacesInPoster", Loadings: map[string]float64{},
+			Marginal: LogNormal{Mu: 0.5, Sigma: 0.7}},
+		{Name: "AspectRatio", Loadings: map[string]float64{"era": 0.4},
+			Marginal: Normal{Mu: 2.1, Sd: 0.25}},
+		{Name: "BudgetRecovery", Loadings: map[string]float64{"popularity": 0.6, "scale": -0.3},
+			Marginal: LogNormal{Mu: 0.2, Sigma: 0.9},
+			Meta:     frame.Metadata{Description: "Gross / budget ratio proxy"}},
+		{Name: "OpeningScreens", Loadings: map[string]float64{"scale": 0.7, "popularity": 0.3},
+			Marginal: LogNormal{Mu: 7.2, Sigma: 0.8}, Meta: frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "MarketingSpend", Loadings: map[string]float64{"scale": 0.8},
+			Marginal: LogNormal{Mu: 15.6, Sigma: 1.1},
+			Meta:     frame.Metadata{Semantic: frame.SemanticCurrency, Unit: "USD"}},
+		{Name: "AwardsNominations", Loadings: map[string]float64{"quality": 0.7},
+			Marginal: LogNormal{Mu: 0.4, Sigma: 1.0}, Meta: frame.Metadata{Semantic: frame.SemanticCount}},
+		{Name: "SequelNumber", Loadings: map[string]float64{},
+			Marginal: LogNormal{Mu: 0.05, Sigma: 0.3}},
+	}
+	extra := []frame.Column{
+		frame.NewCategoricalColumn("Director", ZipfStrings(n, "director", 2000, 1.4, rng)),
+		frame.NewCategoricalColumn("Actor1", ZipfStrings(n, "actor", 1500, 1.4, rng)),
+		frame.NewCategoricalColumn("Genre", ZipfStrings(n, "genre", 12, 1.5, rng)),
+		frame.NewCategoricalColumn("Country", ZipfStrings(n, "country", 30, 2.0, rng)),
+		frame.NewCategoricalColumn("Language", ZipfStrings(n, "lang", 15, 2.4, rng)),
+		frame.NewCategoricalColumn("ContentRating", ZipfStrings(n, "rating", 8, 1.5, rng)),
+		frame.NewCategoricalColumn("ColorFormat", ZipfStrings(n, "color", 2, 3.0, rng)),
+	}
+	f, err := BuildFrame("imdb", n, specs, extra, rng)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"foresight/internal/frame"
+)
+
+// ColumnSpec describes one numeric column of a factor-model table:
+// the latent z-score is Σ_f Loadings[f]·F_f + u·ε with
+// u = √(1−Σλ²), then pushed through Marginal. Factor models are
+// positive semi-definite by construction, so arbitrary loading
+// patterns are always valid — unlike hand-written correlation
+// matrices. The implied correlation between two columns is the dot
+// product of their loading vectors.
+type ColumnSpec struct {
+	Name string
+	// Loadings maps factor name → loading in [−1, 1]. Loading vectors
+	// with Σλ² > 1 are rescaled to unit norm.
+	Loadings map[string]float64
+	// Marginal shapes the column's distribution (Normal{0,1} if nil).
+	Marginal Marginal
+	// Meta is attached to the resulting frame column.
+	Meta frame.Metadata
+}
+
+// FactorTable draws n rows for the given column specs. Factor values
+// are standard normal and shared across the columns of a row. The
+// result is column-major, aligned with specs.
+func FactorTable(n int, specs []ColumnSpec, rng *rand.Rand) [][]float64 {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Collect factor names in first-appearance order for determinism.
+	var factorNames []string
+	seen := map[string]int{}
+	for _, spec := range specs {
+		for f := range spec.Loadings {
+			if _, ok := seen[f]; !ok {
+				seen[f] = len(factorNames)
+				factorNames = append(factorNames, f)
+			}
+		}
+	}
+	// Map iteration order is random; rebuild name list sorted by the
+	// order factors appear in the specs slice — map iteration above is
+	// nondeterministic, so recollect deterministically.
+	factorNames = factorNames[:0]
+	seen = map[string]int{}
+	for _, spec := range specs {
+		for _, f := range sortedKeys(spec.Loadings) {
+			if _, ok := seen[f]; !ok {
+				seen[f] = len(factorNames)
+				factorNames = append(factorNames, f)
+			}
+		}
+	}
+
+	type colPlan struct {
+		idx      []int
+		lam      []float64
+		unique   float64
+		marginal Marginal
+	}
+	plans := make([]colPlan, len(specs))
+	for i, spec := range specs {
+		var plan colPlan
+		ss := 0.0
+		for _, f := range sortedKeys(spec.Loadings) {
+			plan.idx = append(plan.idx, seen[f])
+			plan.lam = append(plan.lam, spec.Loadings[f])
+			ss += spec.Loadings[f] * spec.Loadings[f]
+		}
+		if ss > 1 {
+			norm := math.Sqrt(ss)
+			for k := range plan.lam {
+				plan.lam[k] /= norm
+			}
+			ss = 1
+		}
+		plan.unique = math.Sqrt(1 - ss)
+		plan.marginal = spec.Marginal
+		if plan.marginal == nil {
+			plan.marginal = Normal{Mu: 0, Sd: 1}
+		}
+		plans[i] = plan
+	}
+
+	cols := make([][]float64, len(specs))
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	factors := make([]float64, len(factorNames))
+	for row := 0; row < n; row++ {
+		for f := range factors {
+			factors[f] = rng.NormFloat64()
+		}
+		for i := range plans {
+			plan := &plans[i]
+			z := plan.unique * rng.NormFloat64()
+			for k, fi := range plan.idx {
+				z += plan.lam[k] * factors[fi]
+			}
+			cols[i][row] = plan.marginal.Transform(z)
+		}
+	}
+	return cols
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: loading maps are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// BuildFrame assembles a frame from factor-model numeric specs plus
+// extra pre-built columns (categoricals, hand-crafted numerics).
+func BuildFrame(name string, n int, specs []ColumnSpec, extra []frame.Column, rng *rand.Rand) (*frame.Frame, error) {
+	cols := FactorTable(n, specs, rng)
+	all := make([]frame.Column, 0, len(specs)+len(extra))
+	for i, spec := range specs {
+		all = append(all, frame.NewNumericColumn(spec.Name, cols[i]))
+	}
+	all = append(all, extra...)
+	f, err := frame.New(name, all...)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	for _, spec := range specs {
+		if spec.Meta != (frame.Metadata{}) {
+			if err := f.SetMeta(spec.Name, spec.Meta); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,179 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSVOptions controls CSV ingestion and type inference.
+type ReadCSVOptions struct {
+	// Comma is the field delimiter; ',' when zero.
+	Comma rune
+	// MissingTokens are cell values treated as missing in addition to
+	// the empty string (case-insensitive). Defaults to
+	// ["na", "n/a", "nan", "null", "-"] when nil.
+	MissingTokens []string
+	// MaxCategories caps the number of distinct values a column may
+	// have and still be inferred as categorical when it fails numeric
+	// parsing; columns above the cap are still ingested as categorical
+	// (free text), this only affects nothing today but is validated for
+	// forward compatibility. Zero means no cap.
+	MaxCategories int
+	// NumericThreshold is the fraction of non-missing cells that must
+	// parse as float64 for a column to be inferred numeric; cells that
+	// fail to parse in such a column become missing. Default 0.95.
+	NumericThreshold float64
+}
+
+func (o *ReadCSVOptions) fill() {
+	if o.Comma == 0 {
+		o.Comma = ','
+	}
+	if o.MissingTokens == nil {
+		o.MissingTokens = []string{"na", "n/a", "nan", "null", "-"}
+	}
+	if o.NumericThreshold == 0 {
+		o.NumericThreshold = 0.95
+	}
+	if o.MaxCategories < 0 {
+		o.MaxCategories = 0
+	}
+}
+
+func (o *ReadCSVOptions) isMissing(cell string) bool {
+	if cell == "" {
+		return true
+	}
+	lower := strings.ToLower(strings.TrimSpace(cell))
+	if lower == "" {
+		return true
+	}
+	for _, tok := range o.MissingTokens {
+		if lower == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadCSV ingests a CSV stream with a header row into a Frame, using
+// per-column type inference: a column whose non-missing cells parse as
+// float64 at a rate of at least NumericThreshold becomes numeric,
+// otherwise categorical. name labels the resulting Frame.
+func ReadCSV(r io.Reader, name string, opts *ReadCSVOptions) (*Frame, error) {
+	if opts == nil {
+		opts = &ReadCSVOptions{}
+	}
+	opts.fill()
+
+	cr := csv.NewReader(r)
+	cr.Comma = opts.Comma
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading CSV header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("frame: empty CSV header")
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			header[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: reading CSV record: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("frame: record has %d fields, header has %d", len(rec), len(header))
+		}
+		for i, cell := range rec {
+			raw[i] = append(raw[i], strings.TrimSpace(cell))
+		}
+	}
+
+	cols := make([]Column, len(header))
+	for i, cells := range raw {
+		cols[i] = inferColumn(header[i], cells, opts)
+	}
+	return New(name, cols...)
+}
+
+// ReadCSVFile is ReadCSV over a file path; the Frame is named after
+// the file unless name is non-empty.
+func ReadCSVFile(path, name string, opts *ReadCSVOptions) (*Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("frame: %w", err)
+	}
+	defer f.Close()
+	if name == "" {
+		name = path
+	}
+	return ReadCSV(f, name, opts)
+}
+
+func inferColumn(name string, cells []string, opts *ReadCSVOptions) Column {
+	parsed := make([]float64, len(cells))
+	numericOK, present := 0, 0
+	for i, cell := range cells {
+		if opts.isMissing(cell) {
+			parsed[i] = math.NaN()
+			continue
+		}
+		present++
+		v, err := strconv.ParseFloat(strings.ReplaceAll(cell, ",", ""), 64)
+		if err != nil || math.IsInf(v, 0) {
+			parsed[i] = math.NaN()
+			continue
+		}
+		parsed[i] = v
+		numericOK++
+	}
+	if present > 0 && float64(numericOK)/float64(present) >= opts.NumericThreshold {
+		return NewNumericColumn(name, parsed)
+	}
+	strs := make([]string, len(cells))
+	for i, cell := range cells {
+		if opts.isMissing(cell) {
+			strs[i] = ""
+		} else {
+			strs[i] = cell
+		}
+	}
+	return NewCategoricalColumn(name, strs)
+}
+
+// WriteCSV serializes the frame as CSV with a header row. Missing
+// cells are written as empty strings.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return fmt.Errorf("frame: writing CSV header: %w", err)
+	}
+	rec := make([]string, f.Cols())
+	for i := 0; i < f.Rows(); i++ {
+		for j, c := range f.cols {
+			rec[j] = c.StringAt(i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frame: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,186 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"foresight/internal/core"
+)
+
+// Overview is the paper's optional per-class "global view of insight
+// space" (Figure 2): the metric value of every tuple in the class,
+// arranged for display as a heat map (arity 2) or a ranked bar list
+// (arity 1).
+type Overview struct {
+	Class  string `json:"class"`
+	Metric string `json:"metric"`
+	// RowAttrs and ColAttrs label the matrix axes. For arity-1
+	// classes RowAttrs has one pseudo-entry and ColAttrs carries the
+	// attribute names.
+	RowAttrs []string `json:"row_attrs"`
+	ColAttrs []string `json:"col_attrs"`
+	// Values holds the *raw* (signed) metric values; NaN marks tuples
+	// outside the class or with undefined metrics.
+	Values [][]float64 `json:"values"`
+	// Symmetric reports that rows and columns index the same attribute
+	// set and Values is symmetric (e.g. the pairwise correlation heat
+	// map).
+	Symmetric bool `json:"symmetric"`
+	// Insights lists every scored tuple, ranked by strength.
+	Insights []core.Insight `json:"insights"`
+}
+
+// Overview computes the global view for one class. Classes of arity 3
+// have no overview (the paper makes overviews optional); an error is
+// returned. metric "" selects the class default.
+func (e *Engine) Overview(className, metric string, approx bool) (*Overview, error) {
+	c, ok := e.registry.Lookup(className)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown insight class %q", className)
+	}
+	if metric != "" && !supportsMetric(c, metric) {
+		return nil, fmt.Errorf("query: class %q does not support metric %q", className, metric)
+	}
+	if c.Arity() > 2 {
+		return nil, fmt.Errorf("query: class %q (arity %d) has no overview visualization", className, c.Arity())
+	}
+	if approx && e.profile == nil {
+		return nil, fmt.Errorf("query: approximate overview requires a preprocessed profile")
+	}
+	resolvedMetric := metric
+	if resolvedMetric == "" {
+		resolvedMetric = c.Metrics()[0]
+	}
+	ov := &Overview{Class: className, Metric: resolvedMetric}
+
+	cands := c.Candidates(e.frame)
+	score := func(attrs []string) (core.Insight, bool) {
+		var in core.Insight
+		var err error
+		if approx {
+			in, err = c.ScoreApprox(e.profile, attrs, metric)
+		} else {
+			in, err = c.Score(e.frame, attrs, metric)
+		}
+		if err != nil {
+			return core.Insight{}, false
+		}
+		return in, true
+	}
+
+	switch c.Arity() {
+	case 1:
+		ov.RowAttrs = []string{resolvedMetric}
+		ov.Values = [][]float64{nil}
+		for _, attrs := range cands {
+			in, ok := score(attrs)
+			ov.ColAttrs = append(ov.ColAttrs, attrs[0])
+			if !ok {
+				ov.Values[0] = append(ov.Values[0], math.NaN())
+				continue
+			}
+			ov.Values[0] = append(ov.Values[0], in.Raw)
+			ov.Insights = append(ov.Insights, in)
+		}
+	case 2:
+		rowIdx := map[string]int{}
+		colIdx := map[string]int{}
+		for _, attrs := range cands {
+			if _, ok := rowIdx[attrs[0]]; !ok {
+				rowIdx[attrs[0]] = len(ov.RowAttrs)
+				ov.RowAttrs = append(ov.RowAttrs, attrs[0])
+			}
+			if _, ok := colIdx[attrs[1]]; !ok {
+				colIdx[attrs[1]] = len(ov.ColAttrs)
+				ov.ColAttrs = append(ov.ColAttrs, attrs[1])
+			}
+		}
+		// Pairwise same-kind classes enumerate i<j; unify the axes so
+		// the heat map is square and symmetric (Figure 2).
+		ov.Symmetric = sameAttrSets(ov.RowAttrs, ov.ColAttrs, cands)
+		if ov.Symmetric {
+			union := unionOrdered(ov.RowAttrs, ov.ColAttrs)
+			ov.RowAttrs, ov.ColAttrs = union, union
+			rowIdx, colIdx = indexOf(union), indexOf(union)
+		}
+		ov.Values = make([][]float64, len(ov.RowAttrs))
+		for i := range ov.Values {
+			ov.Values[i] = make([]float64, len(ov.ColAttrs))
+			for j := range ov.Values[i] {
+				ov.Values[i][j] = math.NaN()
+			}
+		}
+		for _, attrs := range cands {
+			in, ok := score(attrs)
+			if !ok {
+				continue
+			}
+			ri, ci := rowIdx[attrs[0]], colIdx[attrs[1]]
+			ov.Values[ri][ci] = in.Raw
+			if ov.Symmetric {
+				ov.Values[ci][ri] = in.Raw
+			}
+			ov.Insights = append(ov.Insights, in)
+		}
+		if ov.Symmetric {
+			// Self-correlation diagonal for display parity with Fig. 2.
+			for i := range ov.Values {
+				if math.IsNaN(ov.Values[i][i]) {
+					ov.Values[i][i] = 1
+				}
+			}
+		}
+	}
+	core.SortInsights(ov.Insights)
+	return ov, nil
+}
+
+// sameAttrSets reports whether the first and second tuple positions
+// draw from one shared attribute universe (true for numeric×numeric
+// pair classes, false for numeric×categorical).
+func sameAttrSets(rows, cols []string, cands [][]string) bool {
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r] = true
+	}
+	overlap := false
+	for _, c := range cols {
+		if seen[c] {
+			overlap = true
+			break
+		}
+	}
+	if !overlap {
+		return false
+	}
+	// Verify no tuple pairs an attribute with itself-kind mismatch;
+	// candidates of mixed classes never overlap, so overlap implies a
+	// shared universe.
+	return len(cands) > 0
+}
+
+func unionOrdered(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func indexOf(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, s := range names {
+		m[s] = i
+	}
+	return m
+}

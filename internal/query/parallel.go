@@ -1,0 +1,85 @@
+package query
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"foresight/internal/core"
+)
+
+// The paper's stated future work is to "improve the scalability with
+// respect to columns by incorporating parallel search methods that
+// speed up insight queries". This file implements that extension: the
+// engine can fan candidate scoring out over a worker pool. Results
+// are bit-identical to sequential execution (workers write to
+// per-candidate slots; filtering and ranking happen after the
+// barrier), so parallelism is purely a throughput knob.
+
+// SetWorkers sets the engine's scoring parallelism: 1 (default)
+// scores sequentially, 0 selects GOMAXPROCS, n > 1 uses n goroutines.
+func (e *Engine) SetWorkers(n int) {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers reports the current scoring parallelism.
+func (e *Engine) Workers() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// scoreCandidatesParallel scores every candidate tuple with the
+// engine's worker pool, returning one slot per candidate (score NaN
+// or error → zero-value Insight with NaN score, filtered by callers).
+func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, q Query, metric string) []core.Insight {
+	out := make([]core.Insight, len(cands))
+	for i := range out {
+		out[i].Score = math.NaN()
+	}
+	score := func(i int) {
+		attrs := cands[i]
+		var in core.Insight
+		var err error
+		if q.Approx {
+			in, err = c.ScoreApprox(e.profile, attrs, metric)
+		} else {
+			in, err = c.Score(e.frame, attrs, metric)
+		}
+		if err != nil {
+			return
+		}
+		out[i] = in
+	}
+	workers := e.Workers()
+	if workers <= 1 || len(cands) < 2*workers {
+		for i := range cands {
+			score(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				score(i)
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,210 @@
+// Package query implements Foresight's exploration engine (paper §2.1
+// and contribution iii): insight queries with top-k ranking, fixed
+// attributes and strength-range filters; class overviews (the paper's
+// "global views of insight space", Figure 2); insight similarity and
+// neighborhoods; and exploration sessions with focus insights whose
+// recommendations update as the analyst drills in (§4.1), including
+// save/restore of exploration state.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"foresight/internal/core"
+	"foresight/internal/frame"
+	"foresight/internal/sketch"
+)
+
+// Query is one insight query: "return the visualizations for the
+// highest-ranked feature tuples according to the insight metric
+// selected", optionally constrained.
+type Query struct {
+	// Classes restricts the query to these insight classes; empty
+	// means every registered class.
+	Classes []string `json:"classes,omitempty"`
+	// Metric selects a ranking metric; "" uses each class's default.
+	// Classes that do not support the metric are skipped when several
+	// classes are queried, and rejected when exactly one is.
+	Metric string `json:"metric,omitempty"`
+	// Fixed lists attributes that must appear in each returned tuple
+	// (the paper's x = x̄ constraint generalized to any subset).
+	Fixed []string `json:"fixed,omitempty"`
+	// MinScore/MaxScore filter on the strength metric, e.g. the
+	// paper's ρ ∈ [0.5, 0.8] filter. MaxScore ≤ 0 means +∞.
+	MinScore float64 `json:"min_score,omitempty"`
+	MaxScore float64 `json:"max_score,omitempty"`
+	// K bounds the number of returned insights per class (0 = all).
+	K int `json:"k,omitempty"`
+	// Approx answers from the preprocessed sketch store instead of
+	// raw data.
+	Approx bool `json:"approx,omitempty"`
+	// Semantic restricts candidate tuples to attributes carrying this
+	// metadata semantic type (paper future work: "attributes that
+	// represent currency or dates"). Applies to any position in the
+	// tuple: at least one attribute must match.
+	Semantic frame.SemanticType `json:"semantic,omitempty"`
+}
+
+// Result groups the insights returned for one class.
+type Result struct {
+	Class    string         `json:"class"`
+	Metric   string         `json:"metric"`
+	Insights []core.Insight `json:"insights"`
+}
+
+// Engine executes insight queries against one dataset. The profile is
+// optional; queries with Approx set fail without it.
+type Engine struct {
+	frame    *frame.Frame
+	registry *core.Registry
+	profile  *sketch.DatasetProfile
+	// workers is the candidate-scoring parallelism (see SetWorkers);
+	// values < 2 mean sequential.
+	workers int
+}
+
+// NewEngine returns an engine over f using the registry's insight
+// classes. profile may be nil (exact queries only).
+func NewEngine(f *frame.Frame, reg *core.Registry, profile *sketch.DatasetProfile) (*Engine, error) {
+	if f == nil {
+		return nil, fmt.Errorf("query: nil frame")
+	}
+	if reg == nil {
+		reg = core.NewRegistry()
+	}
+	return &Engine{frame: f, registry: reg, profile: profile}, nil
+}
+
+// Frame returns the engine's dataset.
+func (e *Engine) Frame() *frame.Frame { return e.frame }
+
+// Registry returns the engine's insight-class registry.
+func (e *Engine) Registry() *core.Registry { return e.registry }
+
+// Profile returns the preprocessed sketch store (nil if absent).
+func (e *Engine) Profile() *sketch.DatasetProfile { return e.profile }
+
+// SetProfile attaches (or replaces) the preprocessed store.
+func (e *Engine) SetProfile(p *sketch.DatasetProfile) { e.profile = p }
+
+// Execute runs the query and returns one Result per class, in
+// registry order, omitting classes with no surviving insights.
+func (e *Engine) Execute(q Query) ([]Result, error) {
+	classes, explicit, err := e.resolveClasses(q.Classes)
+	if err != nil {
+		return nil, err
+	}
+	if q.Approx && e.profile == nil {
+		return nil, fmt.Errorf("query: approximate query requires a preprocessed profile")
+	}
+	maxScore := q.MaxScore
+	if maxScore <= 0 {
+		maxScore = math.Inf(1)
+	}
+	var out []Result
+	for _, c := range classes {
+		metric := q.Metric
+		if metric != "" && !supportsMetric(c, metric) {
+			if explicit && len(classes) == 1 {
+				return nil, fmt.Errorf("query: class %q does not support metric %q", c.Name(), metric)
+			}
+			continue
+		}
+		ins := e.scoreClass(c, q, metric, maxScore)
+		if len(ins) == 0 {
+			continue
+		}
+		m := metric
+		if m == "" {
+			m = c.Metrics()[0]
+		}
+		out = append(out, Result{Class: c.Name(), Metric: m, Insights: ins})
+	}
+	return out, nil
+}
+
+func (e *Engine) scoreClass(c core.Class, q Query, metric string, maxScore float64) []core.Insight {
+	// Filter candidates by the structural constraints first, then
+	// score (possibly in parallel), then filter by strength and rank.
+	var cands [][]string
+	for _, attrs := range c.Candidates(e.frame) {
+		if !containsAll(attrs, q.Fixed) {
+			continue
+		}
+		if q.Semantic != frame.SemanticNone && !anySemantic(e.frame, attrs, q.Semantic) {
+			continue
+		}
+		cands = append(cands, attrs)
+	}
+	scored := e.scoreCandidatesParallel(c, cands, q, metric)
+	ins := make([]core.Insight, 0, len(scored))
+	for _, in := range scored {
+		if math.IsNaN(in.Score) {
+			continue
+		}
+		if in.Score < q.MinScore || in.Score > maxScore {
+			continue
+		}
+		ins = append(ins, in)
+	}
+	return core.TopK(ins, q.K)
+}
+
+// resolveClasses maps names to classes; empty names = all registered.
+// The second return reports whether the caller named classes
+// explicitly.
+func (e *Engine) resolveClasses(names []string) ([]core.Class, bool, error) {
+	if len(names) == 0 {
+		return e.registry.Classes(), false, nil
+	}
+	out := make([]core.Class, 0, len(names))
+	for _, name := range names {
+		c, ok := e.registry.Lookup(name)
+		if !ok {
+			return nil, true, fmt.Errorf("query: unknown insight class %q (have %v)", name, e.registry.Names())
+		}
+		out = append(out, c)
+	}
+	return out, true, nil
+}
+
+func supportsMetric(c core.Class, metric string) bool {
+	for _, m := range c.Metrics() {
+		if m == metric {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(attrs, fixed []string) bool {
+	for _, f := range fixed {
+		found := false
+		for _, a := range attrs {
+			if a == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func anySemantic(f *frame.Frame, attrs []string, want frame.SemanticType) bool {
+	for _, a := range attrs {
+		if f.Meta(a).Semantic == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Carousels returns the Figure-1 view: the top-k insights of every
+// registered class, keyed by class name in registry order.
+func (e *Engine) Carousels(k int, approx bool) ([]Result, error) {
+	return e.Execute(Query{K: k, Approx: approx})
+}

@@ -1,0 +1,263 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"foresight/internal/core"
+)
+
+// Similarity returns a [0,1] similarity between two insights,
+// implementing §2.1: "Two insights can be considered similar if their
+// metric scores are similar or if the sets of fixed attributes are
+// similar." It blends attribute-set Jaccard overlap with score
+// proximity; same-class pairs get full weight on both terms,
+// cross-class pairs are compared on attributes only.
+func Similarity(a, b core.Insight) float64 {
+	jac := jaccard(a.Attrs, b.Attrs)
+	if a.Class != b.Class || a.Metric != b.Metric {
+		return jac
+	}
+	scoreProx := 0.0
+	den := math.Max(math.Abs(a.Score), math.Abs(b.Score))
+	if den > 0 {
+		scoreProx = 1 - math.Abs(a.Score-b.Score)/den
+		if scoreProx < 0 {
+			scoreProx = 0
+		}
+	} else if a.Score == b.Score {
+		scoreProx = 1
+	}
+	return 0.5*jac + 0.5*scoreProx
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	inter := 0
+	union := len(set)
+	for _, s := range b {
+		if set[s] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Neighborhood returns the k insights most similar to focus across
+// the given classes (empty = all), excluding focus itself. This is
+// the second-level exploration of §2: "look at nearby insights".
+func (e *Engine) Neighborhood(focus core.Insight, classes []string, k int, approx bool) ([]core.Insight, error) {
+	res, err := e.Execute(Query{Classes: classes, Approx: approx})
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		in  core.Insight
+		sim float64
+	}
+	var all []scored
+	for _, r := range res {
+		for _, in := range r.Insights {
+			if in.Key() == focus.Key() {
+				continue
+			}
+			all = append(all, scored{in, Similarity(focus, in)})
+		}
+	}
+	// Sort by similarity desc, then strength desc, then key.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.sim > a.sim || (b.sim == a.sim && (b.in.Score > a.in.Score ||
+				(b.in.Score == a.in.Score && b.in.Key() < a.in.Key()))) {
+				all[j-1], all[j] = all[j], all[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	out := make([]core.Insight, len(all))
+	for i, s := range all {
+		out[i] = s.in
+	}
+	return out, nil
+}
+
+// Session is one analyst's exploration state (§4.1): the set of
+// focused insights, plus the parameters of the current view. As
+// insights are focused, Recommendations re-ranks every carousel to
+// prefer the neighborhood of the focus set. Sessions serialize to
+// JSON so they can be saved, revisited, and shared.
+type Session struct {
+	engine *Engine
+	// Focus is the ordered list of focused insights.
+	Focus []core.Insight `json:"focus"`
+	// K is the carousel length (default 5).
+	K int `json:"k"`
+	// Approx selects sketch-based recommendations.
+	Approx bool `json:"approx"`
+	// Blend is the weight of raw strength vs focus relevance in
+	// re-ranking (0..1; default 0.5). 1 = strength only.
+	Blend float64 `json:"blend"`
+}
+
+// NewSession returns a session over the engine with carousel length k
+// (5 when k ≤ 0).
+func NewSession(e *Engine, k int, approx bool) *Session {
+	if k <= 0 {
+		k = 5
+	}
+	return &Session{engine: e, K: k, Approx: approx, Blend: 0.5}
+}
+
+// Engine returns the underlying engine.
+func (s *Session) Engine() *Engine { return s.engine }
+
+// FocusOn adds an insight to the focus set (deduplicated by key).
+func (s *Session) FocusOn(in core.Insight) {
+	for _, f := range s.Focus {
+		if f.Key() == in.Key() {
+			return
+		}
+	}
+	s.Focus = append(s.Focus, in)
+}
+
+// Unfocus removes an insight from the focus set by key; it reports
+// whether anything was removed.
+func (s *Session) Unfocus(key string) bool {
+	for i, f := range s.Focus {
+		if f.Key() == key {
+			s.Focus = append(s.Focus[:i], s.Focus[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// relevance is the maximum attribute overlap between attrs and any
+// focused insight (0 when nothing is focused).
+func (s *Session) relevance(in core.Insight) float64 {
+	best := 0.0
+	for _, f := range s.Focus {
+		if j := jaccard(f.Attrs, in.Attrs); j > best {
+			best = j
+		}
+	}
+	return best
+}
+
+// Recommendations returns the current carousels: per class, the top-K
+// insights ranked by blended score strength·(Blend + (1−Blend)·
+// relevance-to-focus). With an empty focus set this is exactly the
+// Figure-1 ranking. Normalization is per class: strengths are divided
+// by the class maximum so the blend is scale-free.
+func (s *Session) Recommendations() ([]Result, error) {
+	res, err := s.engine.Execute(Query{Approx: s.Approx})
+	if err != nil {
+		return nil, err
+	}
+	blend := s.Blend
+	if blend <= 0 || blend > 1 {
+		blend = 0.5
+	}
+	out := make([]Result, 0, len(res))
+	for _, r := range res {
+		maxScore := 0.0
+		for _, in := range r.Insights {
+			if in.Score > maxScore {
+				maxScore = in.Score
+			}
+		}
+		ranked := make([]core.Insight, len(r.Insights))
+		copy(ranked, r.Insights)
+		if len(s.Focus) > 0 && maxScore > 0 {
+			type kv struct {
+				in    core.Insight
+				score float64
+			}
+			tmp := make([]kv, len(ranked))
+			for i, in := range ranked {
+				rel := s.relevance(in)
+				tmp[i] = kv{in, (in.Score / maxScore) * (blend + (1-blend)*rel)}
+			}
+			// Stable insertion sort by blended score desc, key asc.
+			for i := 1; i < len(tmp); i++ {
+				for j := i; j > 0; j-- {
+					a, b := tmp[j-1], tmp[j]
+					if b.score > a.score || (b.score == a.score && b.in.Key() < a.in.Key()) {
+						tmp[j-1], tmp[j] = tmp[j], tmp[j-1]
+					} else {
+						break
+					}
+				}
+			}
+			for i := range tmp {
+				ranked[i] = tmp[i].in
+			}
+		}
+		if s.K > 0 && s.K < len(ranked) {
+			ranked = ranked[:s.K]
+		}
+		out = append(out, Result{Class: r.Class, Metric: r.Metric, Insights: ranked})
+	}
+	return out, nil
+}
+
+// sessionState is the serialized form of a Session.
+type sessionState struct {
+	Dataset string         `json:"dataset"`
+	Focus   []core.Insight `json:"focus"`
+	K       int            `json:"k"`
+	Approx  bool           `json:"approx"`
+	Blend   float64        `json:"blend"`
+}
+
+// Save serializes the session state ("our analyst saves the current
+// Foresight state to revisit later and to share with her colleagues",
+// §4.1).
+func (s *Session) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sessionState{
+		Dataset: s.engine.frame.Name(),
+		Focus:   s.Focus,
+		K:       s.K,
+		Approx:  s.Approx,
+		Blend:   s.Blend,
+	})
+}
+
+// LoadSession restores a session saved with Save onto an engine. The
+// engine's dataset name must match the saved state.
+func LoadSession(r io.Reader, e *Engine) (*Session, error) {
+	var st sessionState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("query: decoding session: %w", err)
+	}
+	if st.Dataset != e.frame.Name() {
+		return nil, fmt.Errorf("query: session is for dataset %q, engine has %q", st.Dataset, e.frame.Name())
+	}
+	s := NewSession(e, st.K, st.Approx)
+	s.Focus = st.Focus
+	if st.Blend > 0 && st.Blend <= 1 {
+		s.Blend = st.Blend
+	}
+	return s, nil
+}

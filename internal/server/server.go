@@ -1,0 +1,360 @@
+// Package server implements the Foresight demo web UI (paper Figure
+// 1): a JSON API over the query engine plus a self-contained HTML
+// page that renders insight carousels, supports focusing insights to
+// update recommendations, and shows per-class overview heat maps.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"foresight/internal/core"
+	"foresight/internal/query"
+	"foresight/internal/viz"
+)
+
+// Server wires one dataset, one engine and one exploration session
+// into an http.Handler. A demo server holds a single shared session,
+// like the paper's single-analyst demo.
+type Server struct {
+	engine  *query.Engine
+	session *query.Session
+	mu      sync.Mutex
+	mux     *http.ServeMux
+}
+
+// New returns a Server over the engine with carousel length k.
+func New(engine *query.Engine, k int, approx bool) *Server {
+	s := &Server{
+		engine:  engine,
+		session: query.NewSession(engine, k, approx),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/dataset", s.handleDataset)
+	s.mux.HandleFunc("/api/classes", s.handleClasses)
+	s.mux.HandleFunc("/api/carousels", s.handleCarousels)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/overview", s.handleOverview)
+	s.mux.HandleFunc("/api/render", s.handleRender)
+	s.mux.HandleFunc("/api/neighborhood", s.handleNeighborhood)
+	s.mux.HandleFunc("/api/focus", s.handleFocus)
+	s.mux.HandleFunc("/api/unfocus", s.handleUnfocus)
+	s.mux.HandleFunc("/api/state", s.handleState)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) jsonError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = fmt.Fprint(w, indexHTML)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	f := s.engine.Frame()
+	type colInfo struct {
+		Name    string `json:"name"`
+		Kind    string `json:"kind"`
+		Missing int    `json:"missing"`
+		Unit    string `json:"unit,omitempty"`
+	}
+	cols := make([]colInfo, 0, f.Cols())
+	for _, name := range f.Names() {
+		c, _ := f.Lookup(name)
+		cols = append(cols, colInfo{
+			Name: name, Kind: c.Kind().String(), Missing: c.Missing(),
+			Unit: f.Meta(name).Unit,
+		})
+	}
+	s.writeJSON(w, map[string]interface{}{
+		"name":    f.Name(),
+		"rows":    f.Rows(),
+		"cols":    f.Cols(),
+		"columns": cols,
+		"classes": s.engine.Registry().Names(),
+	})
+}
+
+// handleClasses describes the registered insight classes (name,
+// description, arity, metrics, visualization) so UIs can build class
+// pickers without hard-coding the class set.
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
+	type classInfo struct {
+		Name        string   `json:"name"`
+		Description string   `json:"description"`
+		Arity       int      `json:"arity"`
+		Metrics     []string `json:"metrics"`
+		Vis         string   `json:"vis"`
+	}
+	var out []classInfo
+	for _, c := range s.engine.Registry().Classes() {
+		out = append(out, classInfo{
+			Name:        c.Name(),
+			Description: c.Description(),
+			Arity:       c.Arity(),
+			Metrics:     c.Metrics(),
+			Vis:         string(c.VisKind()),
+		})
+	}
+	s.writeJSON(w, map[string]interface{}{"classes": out})
+}
+
+func (s *Server) handleCarousels(w http.ResponseWriter, r *http.Request) {
+	k := intParam(r, "k", 5)
+	s.mu.Lock()
+	s.session.K = k
+	res, err := s.session.Recommendations()
+	focus := append([]core.Insight(nil), s.session.Focus...)
+	s.mu.Unlock()
+	if err != nil {
+		s.jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, map[string]interface{}{"carousels": res, "focus": focus})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := query.Query{
+		Metric:   r.URL.Query().Get("metric"),
+		MinScore: floatParam(r, "min", 0),
+		MaxScore: floatParam(r, "max", 0),
+		K:        intParam(r, "k", 10),
+		Approx:   boolParam(r, "approx"),
+	}
+	if class := r.URL.Query().Get("class"); class != "" {
+		q.Classes = strings.Split(class, ",")
+	}
+	if fix := r.URL.Query().Get("fix"); fix != "" {
+		q.Fixed = strings.Split(fix, ",")
+	}
+	res, err := s.engine.Execute(q)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, map[string]interface{}{"results": res})
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	class := r.URL.Query().Get("class")
+	if class == "" {
+		class = "linear"
+	}
+	ov, err := s.engine.Overview(class, r.URL.Query().Get("metric"), boolParam(r, "approx"))
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "svg" {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		title := fmt.Sprintf("%s overview (%s)", ov.Class, ov.Metric)
+		if len(ov.RowAttrs) == 1 && len(ov.Values) == 1 {
+			// Unary class: one metric value per attribute → bar chart.
+			_, _ = fmt.Fprint(w, viz.BarSVG(ov.ColAttrs, ov.Values[0], title, len(ov.ColAttrs)))
+			return
+		}
+		_, _ = fmt.Fprint(w, viz.CorrelogramSVG(ov.RowAttrs, ov.Values, title))
+		return
+	}
+	s.writeJSON(w, ov)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	class := r.URL.Query().Get("class")
+	attrs := r.URL.Query().Get("attrs")
+	if class == "" || attrs == "" {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("render needs class and attrs"))
+		return
+	}
+	c, ok := s.engine.Registry().Lookup(class)
+	if !ok {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
+		return
+	}
+	var svg string
+	if boolParam(r, "approx") {
+		// Sketch-only panel: both the score and the pixels come from
+		// the preprocessed store.
+		p := s.engine.Profile()
+		if p == nil {
+			s.jsonError(w, http.StatusBadRequest, fmt.Errorf("approx render requires a preprocessed profile"))
+			return
+		}
+		in, err := c.ScoreApprox(p, strings.Split(attrs, ","), r.URL.Query().Get("metric"))
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+		svg, err = viz.RenderSVGFromProfile(p, in)
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		in, err := c.Score(s.engine.Frame(), strings.Split(attrs, ","), r.URL.Query().Get("metric"))
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+		svg, err = viz.RenderSVG(s.engine.Frame(), in)
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = fmt.Fprint(w, svg)
+}
+
+// handleNeighborhood returns the k insights most similar to the given
+// focus insight (§2.1's "nearby insights"), optionally restricted to
+// certain classes.
+func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
+	class := r.URL.Query().Get("class")
+	attrs := r.URL.Query().Get("attrs")
+	if class == "" || attrs == "" {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("neighborhood needs class and attrs"))
+		return
+	}
+	c, ok := s.engine.Registry().Lookup(class)
+	if !ok {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
+		return
+	}
+	focus, err := c.Score(s.engine.Frame(), strings.Split(attrs, ","), r.URL.Query().Get("metric"))
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	var within []string
+	if scope := r.URL.Query().Get("within"); scope != "" {
+		within = strings.Split(scope, ",")
+	}
+	nbrs, err := s.engine.Neighborhood(focus, within, intParam(r, "k", 10), boolParam(r, "approx"))
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, map[string]interface{}{"focus": focus, "neighbors": nbrs})
+}
+
+// focusRequest identifies an insight to (un)focus.
+type focusRequest struct {
+	Class  string   `json:"class"`
+	Metric string   `json:"metric"`
+	Attrs  []string `json:"attrs"`
+}
+
+func (s *Server) handleFocus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req focusRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, ok := s.engine.Registry().Lookup(req.Class)
+	if !ok {
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", req.Class))
+		return
+	}
+	in, err := c.Score(s.engine.Frame(), req.Attrs, req.Metric)
+	if err != nil {
+		s.jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.session.FocusOn(in)
+	n := len(s.session.Focus)
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]interface{}{"focused": in, "focus_count": n})
+}
+
+func (s *Server) handleUnfocus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	s.mu.Lock()
+	removed := s.session.Unfocus(key)
+	if key == "" {
+		s.session.Focus = nil
+		removed = true
+	}
+	n := len(s.session.Focus)
+	s.mu.Unlock()
+	s.writeJSON(w, map[string]interface{}{"removed": removed, "focus_count": n})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.session.Save(w); err != nil {
+			s.jsonError(w, http.StatusInternalServerError, err)
+		}
+	case http.MethodPost:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		restored, err := query.LoadSession(r.Body, s.engine)
+		if err != nil {
+			s.jsonError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.session = restored
+		s.writeJSON(w, map[string]interface{}{"restored": true, "focus_count": len(restored.Focus)})
+	default:
+		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
+	}
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func floatParam(r *http.Request, name string, def float64) float64 {
+	if v := r.URL.Query().Get(name); v != "" {
+		if x, err := strconv.ParseFloat(v, 64); err == nil {
+			return x
+		}
+	}
+	return def
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}

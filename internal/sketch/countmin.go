@@ -1,0 +1,121 @@
+package sketch
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// CountMin is the Cormode–Muthukrishnan count-min sketch: a d×w array
+// of counters giving frequency estimates with one-sided error
+// (overestimates only) of at most εN with probability 1−δ, for
+// w = ⌈e/ε⌉ and d = ⌈ln(1/δ)⌉. It rounds out the paper's sketch
+// library for ad-hoc frequency queries over arbitrary (including
+// joint) keys; the built-in profiles track per-column frequencies with
+// SpaceSaving, whose counter set doubles as the heavy-hitter list.
+type CountMin struct {
+	depth, width int
+	rows         [][]uint64
+	seeds        []uint64
+	n            uint64
+}
+
+// NewCountMin returns a sketch with the given depth (hash functions)
+// and width (counters per row). Non-positive arguments default to
+// depth 4, width 1024.
+func NewCountMin(depth, width int) *CountMin {
+	if depth <= 0 {
+		depth = 4
+	}
+	if width <= 0 {
+		width = 1024
+	}
+	s := &CountMin{
+		depth: depth,
+		width: width,
+		rows:  make([][]uint64, depth),
+		seeds: make([]uint64, depth),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, width)
+		// Odd constants derived from the splitmix64 increment keep the
+		// row hashes independent and deterministic.
+		s.seeds[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	return s
+}
+
+// NewCountMinWithError returns a sketch sized for additive error εN
+// with failure probability δ.
+func NewCountMinWithError(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 {
+		epsilon = 0.001
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(depth, width)
+}
+
+func (s *CountMin) bucket(row int, item string) int {
+	h := fnv.New64a()
+	var seedBytes [8]byte
+	seed := s.seeds[row]
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(seed >> (8 * uint(i)))
+	}
+	_, _ = h.Write(seedBytes[:])
+	_, _ = h.Write([]byte(item))
+	return int(h.Sum64() % uint64(s.width))
+}
+
+// Update folds weight occurrences of item into the sketch.
+func (s *CountMin) Update(item string, weight uint64) {
+	s.n += weight
+	for r := 0; r < s.depth; r++ {
+		s.rows[r][s.bucket(r, item)] += weight
+	}
+}
+
+// Estimate returns the (over-)estimated frequency of item.
+func (s *CountMin) Estimate(item string) uint64 {
+	est := uint64(math.MaxUint64)
+	for r := 0; r < s.depth; r++ {
+		if c := s.rows[r][s.bucket(r, item)]; c < est {
+			est = c
+		}
+	}
+	if est == math.MaxUint64 {
+		return 0
+	}
+	return est
+}
+
+// Count returns the total stream weight observed.
+func (s *CountMin) Count() uint64 { return s.n }
+
+// Merge adds the counters of other into s. Both sketches must have
+// been built with identical depth and width (and therefore seeds);
+// otherwise ErrShapeMismatch is returned.
+func (s *CountMin) Merge(other *CountMin) error {
+	if other == nil {
+		return nil
+	}
+	if s.depth != other.depth || s.width != other.width {
+		return ErrShapeMismatch
+	}
+	for r := range s.rows {
+		for i := range s.rows[r] {
+			s.rows[r][i] += other.rows[r][i]
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// ErrorBound returns the εN additive error guarantee for the current
+// stream (e·N/width).
+func (s *CountMin) ErrorBound() float64 {
+	return math.E * float64(s.n) / float64(s.width)
+}

@@ -1,0 +1,257 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KLL is the Karnin–Lang–Liberty quantile sketch: a single-pass,
+// mergeable summary supporting rank and quantile queries with uniform
+// additive rank error O(1/k). Foresight uses it for approximate
+// box-plot statistics (outlier insight), approximate ECDFs
+// (multimodality insight), and rank-grid Spearman estimates.
+type KLL struct {
+	k          int
+	compactors [][]float64
+	size       int
+	maxSize    int
+	n          uint64
+	rng        *rand.Rand
+	seed       int64
+}
+
+// NewKLL returns a KLL sketch with base compactor capacity k (error
+// ~O(1/k); 200 is a common default and is used when k < 8) and the
+// given deterministic seed for compaction coin flips.
+func NewKLL(k int, seed int64) *KLL {
+	if k < 8 {
+		k = 200
+	}
+	s := &KLL{k: k, rng: rand.New(rand.NewSource(seed)), seed: seed}
+	s.grow()
+	return s
+}
+
+func (s *KLL) grow() {
+	s.compactors = append(s.compactors, nil)
+	s.maxSize = 0
+	for h := range s.compactors {
+		s.maxSize += s.capacity(h)
+	}
+}
+
+// capacity returns the capacity of the compactor at height h; lower
+// levels shrink geometrically (ratio 2/3) as in the reference
+// implementation.
+func (s *KLL) capacity(h int) int {
+	depth := len(s.compactors) - h - 1
+	c := int(math.Ceil(math.Pow(2.0/3.0, float64(depth))*float64(s.k))) + 1
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// Update folds one observation into the sketch. NaN values are
+// ignored so missing cells never pollute quantiles.
+func (s *KLL) Update(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.compactors[0] = append(s.compactors[0], x)
+	s.size++
+	s.n++
+	if s.size >= s.maxSize {
+		s.compress()
+	}
+}
+
+// UpdateAll folds every non-NaN value of xs.
+func (s *KLL) UpdateAll(xs []float64) {
+	for _, x := range xs {
+		s.Update(x)
+	}
+}
+
+func (s *KLL) compress() {
+	for h := 0; h < len(s.compactors); h++ {
+		if len(s.compactors[h]) >= s.capacity(h) {
+			if h+1 >= len(s.compactors) {
+				s.grow()
+			}
+			s.compactors[h+1] = append(s.compactors[h+1], s.compactLevel(h)...)
+			s.recount()
+			if s.size < s.maxSize {
+				return
+			}
+		}
+	}
+}
+
+// compactLevel sorts level h and promotes a random half, clearing the
+// level. The survivors double their implicit weight.
+func (s *KLL) compactLevel(h int) []float64 {
+	items := s.compactors[h]
+	sort.Float64s(items)
+	offset := 0
+	if s.rng.Intn(2) == 1 {
+		offset = 1
+	}
+	promoted := make([]float64, 0, (len(items)+1)/2)
+	for i := offset; i < len(items); i += 2 {
+		promoted = append(promoted, items[i])
+	}
+	s.compactors[h] = s.compactors[h][:0]
+	return promoted
+}
+
+func (s *KLL) recount() {
+	s.size = 0
+	for _, c := range s.compactors {
+		s.size += len(c)
+	}
+}
+
+// Count returns the number of observations folded in.
+func (s *KLL) Count() uint64 { return s.n }
+
+// StoredItems returns the number of retained items (space usage).
+func (s *KLL) StoredItems() int { return s.size }
+
+// Merge folds other into s. Both sketches keep answering queries for
+// the union stream. The sketches may have different k; the result
+// keeps s's parameters.
+func (s *KLL) Merge(other *KLL) error {
+	if other == nil {
+		return nil
+	}
+	for len(s.compactors) < len(other.compactors) {
+		s.grow()
+	}
+	for h, items := range other.compactors {
+		s.compactors[h] = append(s.compactors[h], items...)
+	}
+	s.n += other.n
+	s.recount()
+	for s.size >= s.maxSize {
+		before := s.size
+		s.compress()
+		if s.size == before {
+			break
+		}
+	}
+	return nil
+}
+
+// weighted returns all retained (value, weight) pairs sorted by value.
+func (s *KLL) weighted() (vals []float64, weights []uint64) {
+	type vw struct {
+		v float64
+		w uint64
+	}
+	var all []vw
+	for h, items := range s.compactors {
+		w := uint64(1) << uint(h)
+		for _, v := range items {
+			all = append(all, vw{v, w})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v < all[b].v })
+	vals = make([]float64, len(all))
+	weights = make([]uint64, len(all))
+	for i, p := range all {
+		vals[i] = p.v
+		weights[i] = p.w
+	}
+	return vals, weights
+}
+
+// Rank returns the estimated number of observations ≤ x.
+func (s *KLL) Rank(x float64) uint64 {
+	var rank uint64
+	for h, items := range s.compactors {
+		w := uint64(1) << uint(h)
+		for _, v := range items {
+			if v <= x {
+				rank += w
+			}
+		}
+	}
+	return rank
+}
+
+// CDF returns the estimated P(X ≤ x).
+func (s *KLL) CDF(x float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return float64(s.Rank(x)) / float64(s.n)
+}
+
+// Quantile returns the estimated q-th quantile (0 ≤ q ≤ 1); NaN when
+// the sketch is empty or q is out of range.
+func (s *KLL) Quantile(q float64) float64 {
+	if s.n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	vals, weights := s.weighted()
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, v := range vals {
+		cum += weights[i]
+		if float64(cum) >= target {
+			return v
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// Quantiles evaluates several quantiles with one weighted pass.
+func (s *KLL) Quantiles(qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	if s.n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	vals, weights := s.weighted()
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	for i, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) || len(vals) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		target := q * float64(total)
+		var cum uint64
+		out[i] = vals[len(vals)-1]
+		for j, v := range vals {
+			cum += weights[j]
+			if float64(cum) >= target {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Median is Quantile(0.5).
+func (s *KLL) Median() float64 { return s.Quantile(0.5) }
+
+// IQR returns the estimated interquartile range.
+func (s *KLL) IQR() float64 {
+	qs := s.Quantiles([]float64{0.25, 0.75})
+	return qs[1] - qs[0]
+}

@@ -1,0 +1,210 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"foresight/internal/stats"
+)
+
+func TestKLLExactWhenSmall(t *testing.T) {
+	s := NewKLL(200, 1)
+	for i := 1; i <= 100; i++ {
+		s.Update(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count())
+	}
+	// With n < k the sketch holds everything; quantiles are exact up
+	// to the rank convention.
+	if m := s.Median(); math.Abs(m-50) > 1 {
+		t.Errorf("Median = %v, want ≈50", m)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", q)
+	}
+}
+
+func TestKLLEmptyAndInvalid(t *testing.T) {
+	s := NewKLL(0, 1) // k<8 coerced to default
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sketch quantile should be NaN")
+	}
+	if !math.IsNaN(s.CDF(1)) {
+		t.Error("empty sketch CDF should be NaN")
+	}
+	s.Update(5)
+	if !math.IsNaN(s.Quantile(-0.1)) || !math.IsNaN(s.Quantile(1.1)) || !math.IsNaN(s.Quantile(math.NaN())) {
+		t.Error("out-of-range q should be NaN")
+	}
+	s.Update(math.NaN())
+	if s.Count() != 1 {
+		t.Error("NaN update should be ignored")
+	}
+}
+
+func TestKLLRankErrorUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 200000
+	s := NewKLL(200, 5)
+	for i := 0; i < n; i++ {
+		s.Update(rng.Float64())
+	}
+	if s.StoredItems() > 3000 {
+		t.Errorf("sketch stores %d items; should be compact", s.StoredItems())
+	}
+	// Rank error at several quantiles should be small (≲1.5% of n for
+	// k=200).
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(q)
+		if math.Abs(got-q) > 0.015 {
+			t.Errorf("Quantile(%v) = %v, want within 0.015", q, got)
+		}
+		cdf := s.CDF(q)
+		if math.Abs(cdf-q) > 0.015 {
+			t.Errorf("CDF(%v) = %v, want within 0.015", q, cdf)
+		}
+	}
+}
+
+func TestKLLVersusExactNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 50000
+	xs := make([]float64, n)
+	s := NewKLL(200, 9)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		s.Update(xs[i])
+	}
+	sort.Float64s(xs)
+	qs := []float64{0.25, 0.5, 0.75}
+	got := s.Quantiles(qs)
+	for i, q := range qs {
+		want := stats.QuantileSorted(xs, q)
+		if math.Abs(got[i]-want) > 0.05 {
+			t.Errorf("q%v: got %v want %v", q, got[i], want)
+		}
+	}
+	if math.Abs(s.IQR()-(got[2]-got[0])) > 1e-12 {
+		t.Error("IQR should equal q75−q25")
+	}
+}
+
+func TestKLLMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewKLL(200, 10)
+	b := NewKLL(200, 11)
+	full := NewKLL(200, 12)
+	for i := 0; i < 30000; i++ {
+		v := rng.NormFloat64()
+		if i%2 == 0 {
+			a.Update(v)
+		} else {
+			b.Update(v)
+		}
+		full.Update(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 30000 {
+		t.Fatalf("merged Count = %d, want 30000", a.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if d := math.Abs(a.Quantile(q) - full.Quantile(q)); d > 0.08 {
+			t.Errorf("merged q%v differs from full-stream by %v", q, d)
+		}
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v", err)
+	}
+}
+
+func TestKLLMergeDifferentLevels(t *testing.T) {
+	big := NewKLL(64, 1)
+	for i := 0; i < 100000; i++ {
+		big.Update(float64(i))
+	}
+	small := NewKLL(64, 2)
+	small.Update(5)
+	// Merging a deep sketch into a shallow one must grow the shallow.
+	if err := small.Merge(big); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if small.Count() != 100001 {
+		t.Errorf("Count = %d", small.Count())
+	}
+	med := small.Median()
+	if math.Abs(med-50000) > 3000 {
+		t.Errorf("median after deep merge = %v, want ≈50000", med)
+	}
+}
+
+// Property: quantiles are monotone in q and within the observed range.
+func TestQuickKLLQuantileMonotone(t *testing.T) {
+	prop := func(seed int64, raw []float64) bool {
+		s := NewKLL(128, seed)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Update(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := s.Quantile(q)
+			if v < prev || v < lo || v > hi {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge order does not change counts, and rank estimates of
+// merged sketches stay within tolerance of exact ranks.
+func TestQuickKLLMergeCount(t *testing.T) {
+	prop := func(a, b []float64) bool {
+		sa, sb := NewKLL(64, 1), NewKLL(64, 2)
+		na, nb := uint64(0), uint64(0)
+		for _, v := range a {
+			if !math.IsNaN(v) {
+				sa.Update(v)
+				na++
+			}
+		}
+		for _, v := range b {
+			if !math.IsNaN(v) {
+				sb.Update(v)
+				nb++
+			}
+		}
+		if err := sa.Merge(sb); err != nil {
+			return false
+		}
+		return sa.Count() == na+nb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package sketch
+
+import (
+	"runtime"
+	"sync"
+)
+
+// eachColumn runs fn(i) for i in [0, n), fanning out over a worker
+// pool when workers > 1 (0 selects GOMAXPROCS when negative — by
+// convention 0 means sequential, matching the paper's single-threaded
+// measurements). fn must only touch state owned by column i, which
+// makes results identical at any worker count.
+func eachColumn(n, workers int, fn func(i int)) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,287 @@
+package sketch
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Profile persistence: a DatasetProfile serializes to a stream so the
+// preprocessing pass (paper §3) runs once and later exploration
+// sessions — possibly in different processes — reload the sketch
+// store instead of rescanning the data. The format is
+// encoding/gob over explicit wire structs, versioned for forward
+// compatibility.
+//
+// Persisted sketches answer queries identically to the originals.
+// Sketches that keep private RNG state for *future updates* (KLL
+// compaction coins, reservoir replacement draws) resume with a
+// freshly seeded generator, so post-load updates remain valid sketch
+// behavior but are not bit-identical to an unserialized twin.
+
+// profileWireVersion guards the serialized layout.
+const profileWireVersion = 1
+
+type kllWire struct {
+	K          int
+	Seed       int64
+	N          uint64
+	Compactors [][]float64
+}
+
+type spaceSavingWire struct {
+	Capacity int
+	N        uint64
+	Items    []HeavyHitter
+}
+
+type kmvWire struct {
+	K      int
+	N      uint64
+	Hashes []uint64
+}
+
+type reservoirWire struct {
+	Capacity int
+	N        uint64
+	Items    []float64
+}
+
+type projectionWire struct {
+	Dots []float64
+	Rows int
+	Seed int64
+}
+
+type hyperplaneWire struct {
+	Bits []uint64
+	K    int
+	Seed int64
+}
+
+type numericProfileWire struct {
+	Name            string
+	Moments         Moments
+	Quantiles       kllWire
+	Proj            projectionWire
+	Planes          hyperplaneWire
+	HasRank         bool
+	RankProj        projectionWire
+	RankPlanes      hyperplaneWire
+	Sample          reservoirWire
+	RowSampleValues []float64
+}
+
+type categoricalProfileWire struct {
+	Name           string
+	Heavy          spaceSavingWire
+	Distinct       kmvWire
+	Rows           uint64
+	RowSampleCodes []int32
+	Cardinality    int
+	Dict           []string
+}
+
+type profileWire struct {
+	Version     int
+	Rows        int
+	Config      ProfileConfig
+	RowSample   []int
+	Numeric     []numericProfileWire
+	Categorical []categoricalProfileWire
+}
+
+func kllToWire(s *KLL) kllWire {
+	w := kllWire{K: s.k, Seed: s.seed, N: s.n, Compactors: make([][]float64, len(s.compactors))}
+	for i, c := range s.compactors {
+		w.Compactors[i] = append([]float64(nil), c...)
+	}
+	return w
+}
+
+func kllFromWire(w kllWire) *KLL {
+	s := NewKLL(w.K, w.Seed)
+	s.n = w.N
+	s.compactors = make([][]float64, len(w.Compactors))
+	for i, c := range w.Compactors {
+		s.compactors[i] = append([]float64(nil), c...)
+	}
+	if len(s.compactors) == 0 {
+		s.compactors = [][]float64{nil}
+	}
+	s.maxSize = 0
+	for h := range s.compactors {
+		s.maxSize += s.capacity(h)
+	}
+	s.recount()
+	return s
+}
+
+func spaceSavingToWire(s *SpaceSaving) spaceSavingWire {
+	return spaceSavingWire{Capacity: s.capacity, N: s.n, Items: s.Top(0)}
+}
+
+func spaceSavingFromWire(w spaceSavingWire) *SpaceSaving {
+	s := NewSpaceSaving(w.Capacity)
+	s.n = w.N
+	for _, h := range w.Items {
+		s.counters[h.Item] = &ssCounter{item: h.Item, count: h.Count, err: h.Err}
+	}
+	return s
+}
+
+func kmvToWire(s *KMV) kmvWire {
+	return kmvWire{K: s.k, N: s.n, Hashes: append([]uint64(nil), s.hashes...)}
+}
+
+func kmvFromWire(w kmvWire) *KMV {
+	s := NewKMV(w.K)
+	s.n = w.N
+	s.hashes = append([]uint64(nil), w.Hashes...)
+	for _, h := range s.hashes {
+		s.seen[h] = struct{}{}
+	}
+	return s
+}
+
+func reservoirToWire(s *Reservoir) reservoirWire {
+	return reservoirWire{Capacity: s.capacity, N: s.n, Items: append([]float64(nil), s.items...)}
+}
+
+func reservoirFromWire(w reservoirWire, seed int64) *Reservoir {
+	s := NewReservoir(w.Capacity, seed)
+	s.n = w.N
+	s.items = append([]float64(nil), w.Items...)
+	s.rng = rand.New(rand.NewSource(seed + int64(w.N)))
+	return s
+}
+
+func projectionToWire(p *Projection) projectionWire {
+	if p == nil {
+		return projectionWire{}
+	}
+	return projectionWire{Dots: append([]float64(nil), p.Dots...), Rows: p.Rows, Seed: p.Seed}
+}
+
+func projectionFromWire(w projectionWire) *Projection {
+	return &Projection{Dots: append([]float64(nil), w.Dots...), Rows: w.Rows, Seed: w.Seed}
+}
+
+func hyperplaneToWire(h *Hyperplane) hyperplaneWire {
+	if h == nil {
+		return hyperplaneWire{}
+	}
+	return hyperplaneWire{Bits: append([]uint64(nil), h.bits...), K: h.k, Seed: h.seed}
+}
+
+func hyperplaneFromWire(w hyperplaneWire) *Hyperplane {
+	return &Hyperplane{bits: append([]uint64(nil), w.Bits...), k: w.K, seed: w.Seed}
+}
+
+// Save serializes the profile to w.
+func (p *DatasetProfile) Save(w io.Writer) error {
+	wire := profileWire{
+		Version:   profileWireVersion,
+		Rows:      p.Rows,
+		Config:    p.Config,
+		RowSample: p.RowSample.Indexes,
+	}
+	// Deterministic column order for stable output.
+	for _, name := range sortedProfileNames(p) {
+		if np, ok := p.Numeric[name]; ok {
+			nw := numericProfileWire{
+				Name:            np.Name,
+				Moments:         np.Moments,
+				Quantiles:       kllToWire(np.Quantiles),
+				Proj:            projectionToWire(np.Proj),
+				Planes:          hyperplaneToWire(np.Planes),
+				Sample:          reservoirToWire(np.Sample),
+				RowSampleValues: np.RowSampleValues,
+			}
+			if np.RankProj != nil {
+				nw.HasRank = true
+				nw.RankProj = projectionToWire(np.RankProj)
+				nw.RankPlanes = hyperplaneToWire(np.RankPlanes)
+			}
+			wire.Numeric = append(wire.Numeric, nw)
+			continue
+		}
+		cp := p.Categorical[name]
+		wire.Categorical = append(wire.Categorical, categoricalProfileWire{
+			Name:           cp.Name,
+			Heavy:          spaceSavingToWire(cp.Heavy),
+			Distinct:       kmvToWire(cp.Distinct),
+			Rows:           cp.Rows,
+			RowSampleCodes: cp.RowSampleCodes,
+			Cardinality:    cp.Cardinality,
+			Dict:           cp.Dict,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("sketch: encoding profile: %w", err)
+	}
+	return nil
+}
+
+func sortedProfileNames(p *DatasetProfile) []string {
+	names := make([]string, 0, len(p.Numeric)+len(p.Categorical))
+	for name := range p.Numeric {
+		names = append(names, name)
+	}
+	for name := range p.Categorical {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// LoadProfile deserializes a profile written by Save.
+func LoadProfile(r io.Reader) (*DatasetProfile, error) {
+	var wire profileWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("sketch: decoding profile: %w", err)
+	}
+	if wire.Version != profileWireVersion {
+		return nil, fmt.Errorf("sketch: profile version %d, want %d", wire.Version, profileWireVersion)
+	}
+	p := &DatasetProfile{
+		Rows:        wire.Rows,
+		Config:      wire.Config,
+		RowSample:   &RowSample{Indexes: wire.RowSample},
+		Numeric:     make(map[string]*NumericProfile, len(wire.Numeric)),
+		Categorical: make(map[string]*CategoricalProfile, len(wire.Categorical)),
+	}
+	for _, nw := range wire.Numeric {
+		np := &NumericProfile{
+			Name:            nw.Name,
+			Moments:         nw.Moments,
+			Quantiles:       kllFromWire(nw.Quantiles),
+			Proj:            projectionFromWire(nw.Proj),
+			Planes:          hyperplaneFromWire(nw.Planes),
+			Sample:          reservoirFromWire(nw.Sample, wire.Config.Seed),
+			RowSampleValues: nw.RowSampleValues,
+		}
+		if nw.HasRank {
+			np.RankProj = projectionFromWire(nw.RankProj)
+			np.RankPlanes = hyperplaneFromWire(nw.RankPlanes)
+		}
+		p.Numeric[np.Name] = np
+	}
+	for _, cw := range wire.Categorical {
+		p.Categorical[cw.Name] = &CategoricalProfile{
+			Name:           cw.Name,
+			Heavy:          spaceSavingFromWire(cw.Heavy),
+			Distinct:       kmvFromWire(cw.Distinct),
+			Rows:           cw.Rows,
+			RowSampleCodes: cw.RowSampleCodes,
+			Cardinality:    cw.Cardinality,
+			Dict:           cw.Dict,
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	f := testFrame(8000, 31)
+	orig := BuildProfile(f, ProfileConfig{Seed: 4, K: 128, Spearman: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rows != orig.Rows {
+		t.Fatalf("rows = %d, want %d", loaded.Rows, orig.Rows)
+	}
+	if loaded.Config.K != orig.Config.K || loaded.Config.Seed != orig.Config.Seed {
+		t.Error("config not restored")
+	}
+	if len(loaded.Numeric) != len(orig.Numeric) || len(loaded.Categorical) != len(orig.Categorical) {
+		t.Fatal("profile shape changed")
+	}
+
+	// Every estimator must answer identically after the round trip.
+	for name, onp := range orig.Numeric {
+		lnp := loaded.Numeric[name]
+		if lnp == nil {
+			t.Fatalf("numeric profile %q lost", name)
+		}
+		if onp.Moments != lnp.Moments {
+			t.Errorf("%s: moments differ", name)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			if a, b := onp.Quantiles.Quantile(q), lnp.Quantiles.Quantile(q); a != b {
+				t.Errorf("%s: q%v differs: %v vs %v", name, q, a, b)
+			}
+		}
+		if onp.OutlierScoreEstimate(0) != lnp.OutlierScoreEstimate(0) {
+			t.Errorf("%s: outlier estimate differs", name)
+		}
+		if len(onp.RowSampleValues) != len(lnp.RowSampleValues) {
+			t.Errorf("%s: row sample values lost", name)
+		}
+	}
+	for _, pair := range [][2]string{{"x", "y"}, {"x", "z"}, {"y", "skew"}} {
+		a, err := orig.EstimatePearson(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.EstimatePearson(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("pearson(%v) differs: %v vs %v", pair, a, b)
+		}
+		as, err := orig.EstimateSpearman(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := loaded.EstimateSpearman(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as != bs {
+			t.Errorf("spearman(%v) differs: %v vs %v", pair, as, bs)
+		}
+	}
+	for name, ocp := range orig.Categorical {
+		lcp := loaded.Categorical[name]
+		if lcp == nil {
+			t.Fatalf("categorical profile %q lost", name)
+		}
+		if ocp.Heavy.RelFreqTopK(3) != lcp.Heavy.RelFreqTopK(3) {
+			t.Errorf("%s: heavy hitters differ", name)
+		}
+		if ocp.EntropyEstimate() != lcp.EntropyEstimate() {
+			t.Errorf("%s: entropy differs", name)
+		}
+		if ocp.Distinct.Distinct() != lcp.Distinct.Distinct() {
+			t.Errorf("%s: distinct differs", name)
+		}
+		if lcp.Cardinality != ocp.Cardinality {
+			t.Errorf("%s: cardinality differs", name)
+		}
+	}
+	// Row sample restored.
+	if len(loaded.RowSample.Indexes) != len(orig.RowSample.Indexes) {
+		t.Error("row sample lost")
+	}
+}
+
+func TestProfileLoadedSketchesStillUpdatable(t *testing.T) {
+	f := testFrame(2000, 32)
+	orig := BuildProfile(f, ProfileConfig{Seed: 1, K: 64})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := loaded.Numeric["x"]
+	before := np.Quantiles.Count()
+	// Post-load updates must keep working (fresh compaction coin).
+	for i := 0; i < 50000; i++ {
+		np.Quantiles.Update(float64(i % 100))
+	}
+	if np.Quantiles.Count() != before+50000 {
+		t.Error("post-load KLL updates broken")
+	}
+	if med := np.Quantiles.Median(); math.IsNaN(med) {
+		t.Error("post-load median NaN")
+	}
+	cp := loaded.Categorical["cat"]
+	cp.Heavy.Update("newitem")
+	if _, ok := cp.Heavy.Estimate("newitem"); !ok && cp.Heavy.TrackedItems() < 64 {
+		t.Error("post-load SpaceSaving update broken")
+	}
+	cp.Distinct.Update("newitem")
+	// Reservoir updates.
+	np.Sample.Update(1.5)
+}
+
+func TestLoadProfileErrors(t *testing.T) {
+	if _, err := LoadProfile(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if _, err := LoadProfile(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestProfileSaveDeterministic(t *testing.T) {
+	f := testFrame(1000, 33)
+	p := BuildProfile(f, ProfileConfig{Seed: 2, K: 32})
+	var a, b bytes.Buffer
+	if err := p.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Save output not deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+package sketch
+
+import (
+	"sort"
+)
+
+// SpaceSaving is the Metwally–Agrawal–El Abbadi frequent-items sketch:
+// it tracks at most Capacity counters and guarantees that any item
+// with true frequency > N/Capacity is retained, with count
+// overestimated by at most the minimum counter value. Foresight uses
+// it to rank heterogeneous-frequency (heavy hitter) insights and, by
+// composition with KMV, to estimate entropy.
+type SpaceSaving struct {
+	capacity int
+	counters map[string]*ssCounter
+	n        uint64
+}
+
+type ssCounter struct {
+	item  string
+	count uint64
+	// err is the possible overestimation (count of the evicted
+	// counter this one replaced).
+	err uint64
+}
+
+// HeavyHitter is one reported item with its estimated count bounds.
+type HeavyHitter struct {
+	Item string
+	// Count is the estimated frequency (upper bound).
+	Count uint64
+	// Err bounds the overestimation: true count ∈ [Count−Err, Count].
+	Err uint64
+}
+
+// NewSpaceSaving returns a sketch tracking up to capacity items
+// (minimum 1; 64 when capacity ≤ 0).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		counters: make(map[string]*ssCounter, capacity),
+	}
+}
+
+// Update folds one occurrence of item (with weight 1).
+func (s *SpaceSaving) Update(item string) { s.UpdateWeighted(item, 1) }
+
+// UpdateWeighted folds weight occurrences of item.
+func (s *SpaceSaving) UpdateWeighted(item string, weight uint64) {
+	if weight == 0 {
+		return
+	}
+	s.n += weight
+	if c, ok := s.counters[item]; ok {
+		c.count += weight
+		return
+	}
+	if len(s.counters) < s.capacity {
+		s.counters[item] = &ssCounter{item: item, count: weight}
+		return
+	}
+	// Evict the minimum counter and inherit its count as error bound.
+	var min *ssCounter
+	for _, c := range s.counters {
+		if min == nil || c.count < min.count {
+			min = c
+		}
+	}
+	delete(s.counters, min.item)
+	s.counters[item] = &ssCounter{item: item, count: min.count + weight, err: min.count}
+}
+
+// Count returns the total stream weight observed.
+func (s *SpaceSaving) Count() uint64 { return s.n }
+
+// Estimate returns the estimated count of item (0 if untracked) and
+// whether the item is currently tracked.
+func (s *SpaceSaving) Estimate(item string) (uint64, bool) {
+	if c, ok := s.counters[item]; ok {
+		return c.count, true
+	}
+	return 0, false
+}
+
+// Top returns the k highest-count tracked items, sorted by descending
+// estimated count (ties broken by item for determinism).
+func (s *SpaceSaving) Top(k int) []HeavyHitter {
+	all := make([]HeavyHitter, 0, len(s.counters))
+	for _, c := range s.counters {
+		all = append(all, HeavyHitter{Item: c.item, Count: c.count, Err: c.err})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Count != all[b].Count {
+			return all[a].Count > all[b].Count
+		}
+		return all[a].Item < all[b].Item
+	})
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// RelFreqTopK returns the paper's heterogeneous-frequency metric
+// RelFreq(k,c): the total relative frequency of the k most frequent
+// items, estimated from the sketch. Returns 0 for an empty stream.
+func (s *SpaceSaving) RelFreqTopK(k int) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, h := range s.Top(k) {
+		sum += h.Count
+	}
+	f := float64(sum) / float64(s.n)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Merge folds other into s (standard SpaceSaving merge: sum matching
+// counters, then keep the top `capacity` by count). Error bounds are
+// combined conservatively.
+func (s *SpaceSaving) Merge(other *SpaceSaving) error {
+	if other == nil {
+		return nil
+	}
+	merged := make(map[string]*ssCounter, len(s.counters)+len(other.counters))
+	for item, c := range s.counters {
+		merged[item] = &ssCounter{item: item, count: c.count, err: c.err}
+	}
+	for item, c := range other.counters {
+		if m, ok := merged[item]; ok {
+			m.count += c.count
+			m.err += c.err
+		} else {
+			merged[item] = &ssCounter{item: item, count: c.count, err: c.err}
+		}
+	}
+	if len(merged) > s.capacity {
+		all := make([]*ssCounter, 0, len(merged))
+		for _, c := range merged {
+			all = append(all, c)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].count != all[b].count {
+				return all[a].count > all[b].count
+			}
+			return all[a].item < all[b].item
+		})
+		merged = make(map[string]*ssCounter, s.capacity)
+		for _, c := range all[:s.capacity] {
+			merged[c.item] = c
+		}
+	}
+	s.counters = merged
+	s.n += other.n
+	return nil
+}
+
+// TrackedItems returns the number of counters currently held.
+func (s *SpaceSaving) TrackedItems() int { return len(s.counters) }

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+)
+
+// LinearFit is a simple ordinary-least-squares line y = Slope·x +
+// Intercept, used to superimpose the best-fit line on scatter-plot
+// insights.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// N is the number of pairwise-complete observations used.
+	N int
+}
+
+// FitLine fits an OLS line through the pairwise-complete observations
+// of (xs, ys). Slope is NaN when x is constant.
+func FitLine(xs, ys []float64) LinearFit {
+	px, py := pairwiseComplete(xs, ys)
+	n := len(px)
+	if n < 2 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN(), N: n}
+	}
+	mx, my := Mean(px), Mean(py)
+	var sxx, sxy, syy float64
+	for i := range px {
+		dx, dy := px[i]-mx, py[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN(), N: n}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = math.NaN()
+	}
+	return fit
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }

@@ -1,0 +1,510 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"foresight/internal/stats"
+)
+
+// Chart margins shared by the SVG renderers.
+const (
+	defaultW = 420
+	defaultH = 260
+	marginL  = 48.0
+	marginR  = 14.0
+	marginT  = 30.0
+	marginB  = 38.0
+)
+
+// HistogramSVG renders the histogram of values with an automatic bin
+// count (Freedman–Diaconis), titled.
+func HistogramSVG(values []float64, title string) string {
+	h := stats.AutoHistogram(values, stats.FreedmanDiaconis)
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	if h.N == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	y := newScale(0, float64(maxCount), marginT+plotH, marginT)
+	binW := plotW / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		x := marginL + float64(i)*binW
+		top := y.at(float64(c))
+		s.rect(x+0.5, top, binW-1, marginT+plotH-top, colorPrimary, 0.85)
+	}
+	// Axis labels: min, mid, max of the domain; max count.
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	s.text(marginL, float64(defaultH)-12, 10, "start", fmtNum(h.Edges[0]))
+	s.text(marginL+plotW/2, float64(defaultH)-12, 10, "middle", fmtNum((h.Edges[0]+h.Edges[len(h.Edges)-1])/2))
+	s.text(marginL+plotW, float64(defaultH)-12, 10, "end", fmtNum(h.Edges[len(h.Edges)-1]))
+	s.text(marginL-6, marginT+8, 10, "end", fmtNum(float64(maxCount)))
+	return s.String()
+}
+
+// BoxPlotSVG renders a horizontal box-and-whisker plot with outlier
+// points (the paper's outlier-insight visualization).
+func BoxPlotSVG(values []float64, title string) string {
+	b := stats.NewBoxStats(values, 0)
+	s := newSVG(defaultW, 180)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	if math.IsNaN(b.Median) {
+		s.text(defaultW/2, 90, 12, "middle", "no data")
+		return s.String()
+	}
+	lo, hi := b.Min, b.Max
+	x := newScale(lo, hi, marginL, float64(defaultW)-marginR)
+	mid := 90.0
+	boxH := 44.0
+	// Whiskers.
+	s.line(x.at(b.WhiskerLow), mid, x.at(b.Q1), mid, "#333", 1.5)
+	s.line(x.at(b.Q3), mid, x.at(b.WhiskerHigh), mid, "#333", 1.5)
+	s.line(x.at(b.WhiskerLow), mid-boxH/4, x.at(b.WhiskerLow), mid+boxH/4, "#333", 1.5)
+	s.line(x.at(b.WhiskerHigh), mid-boxH/4, x.at(b.WhiskerHigh), mid+boxH/4, "#333", 1.5)
+	// Box and median.
+	s.rect(x.at(b.Q1), mid-boxH/2, x.at(b.Q3)-x.at(b.Q1), boxH, colorPrimary, 0.35)
+	s.line(x.at(b.Median), mid-boxH/2, x.at(b.Median), mid+boxH/2, colorPrimary, 2.5)
+	// Outliers.
+	for _, v := range b.Outliers {
+		s.circle(x.at(v), mid, 3, colorAccent, 0.9)
+	}
+	s.text(marginL, 160, 10, "start", fmtNum(lo))
+	s.text(float64(defaultW)-marginR, 160, 10, "end", fmtNum(hi))
+	s.text(x.at(b.Median), mid-boxH/2-6, 10, "middle", "median "+fmtNum(b.Median))
+	return s.String()
+}
+
+// ParetoSVG renders a Pareto chart (sorted frequency bars plus a
+// cumulative-share line) for labeled counts, showing up to maxBars
+// bars (12 when ≤ 0).
+func ParetoSVG(labels []string, counts []int, title string, maxBars int) string {
+	if maxBars <= 0 {
+		maxBars = 12
+	}
+	type lc struct {
+		label string
+		count int
+	}
+	items := make([]lc, 0, len(labels))
+	total := 0
+	for i, l := range labels {
+		if i < len(counts) {
+			items = append(items, lc{l, counts[i]})
+			total += counts[i]
+		}
+	}
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].count > items[j-1].count; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	shown := items
+	if len(shown) > maxBars {
+		shown = shown[:maxBars]
+	}
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	if total == 0 || len(shown) == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	y := newScale(0, float64(shown[0].count), marginT+plotH, marginT)
+	cy := newScale(0, 1, marginT+plotH, marginT)
+	barW := plotW / float64(len(shown))
+	cum := 0.0
+	prevX, prevY := marginL, marginT+plotH
+	for i, it := range shown {
+		x := marginL + float64(i)*barW
+		top := y.at(float64(it.count))
+		s.rect(x+1, top, barW-2, marginT+plotH-top, colorPrimary, 0.85)
+		cum += float64(it.count) / float64(total)
+		cx := x + barW/2
+		cyv := cy.at(cum)
+		s.line(prevX, prevY, cx, cyv, colorAccent, 1.5)
+		s.circle(cx, cyv, 2.2, colorAccent, 1)
+		prevX, prevY = cx, cyv
+		if barW > 22 {
+			s.textRotated(x+barW/2, float64(defaultH)-8, 9, -35, truncate(it.label, 10))
+		}
+	}
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	s.text(marginL-6, marginT+8, 10, "end", fmtNum(float64(shown[0].count)))
+	return s.String()
+}
+
+// ScatterSVG renders an x/y scatter; when fit is non-nil the best-fit
+// line is superimposed (the paper's correlation-insight view). Points
+// are subsampled to at most maxPoints (1000 when ≤ 0).
+func ScatterSVG(xs, ys []float64, fit *stats.LinearFit, title string, maxPoints int) string {
+	return scatterImpl(xs, ys, nil, fit, title, maxPoints)
+}
+
+// ColorScatterSVG renders a scatter with per-point group colors (the
+// segmentation-insight view). groups[i] < 0 renders neutral.
+func ColorScatterSVG(xs, ys []float64, groups []int, title string, maxPoints int) string {
+	return scatterImpl(xs, ys, groups, nil, title, maxPoints)
+}
+
+func scatterImpl(xs, ys []float64, groups []int, fit *stats.LinearFit, title string, maxPoints int) string {
+	if maxPoints <= 0 {
+		maxPoints = 1000
+	}
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			continue
+		}
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if minX > maxX {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	x := newScale(minX, maxX, marginL, marginL+plotW)
+	y := newScale(minY, maxY, marginT+plotH, marginT)
+	step := 1
+	if n > maxPoints {
+		step = n / maxPoints
+	}
+	for i := 0; i < n; i += step {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+			continue
+		}
+		fill := colorPrimary
+		if groups != nil && i < len(groups) {
+			fill = categoryColor(groups[i])
+		}
+		s.circle(x.at(xs[i]), y.at(ys[i]), 2.2, fill, 0.55)
+	}
+	if fit != nil && !math.IsNaN(fit.Slope) {
+		y1 := fit.Predict(minX)
+		y2 := fit.Predict(maxX)
+		s.line(x.at(minX), y.at(clamp(y1, minY, maxY)), x.at(maxX), y.at(clamp(y2, minY, maxY)), colorAccent, 2)
+	}
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	s.line(marginL, marginT, marginL, marginT+plotH, "#333", 1)
+	s.text(marginL, float64(defaultH)-12, 10, "start", fmtNum(minX))
+	s.text(marginL+plotW, float64(defaultH)-12, 10, "end", fmtNum(maxX))
+	s.text(marginL-6, marginT+plotH, 10, "end", fmtNum(minY))
+	s.text(marginL-6, marginT+10, 10, "end", fmtNum(maxY))
+	return s.String()
+}
+
+// BarSVG renders labeled value bars (uniformity / entropy view),
+// showing up to maxBars (16 when ≤ 0) in given order.
+func BarSVG(labels []string, values []float64, title string, maxBars int) string {
+	if maxBars <= 0 {
+		maxBars = 16
+	}
+	n := len(labels)
+	if len(values) < n {
+		n = len(values)
+	}
+	if n > maxBars {
+		n = maxBars
+	}
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	if n == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	maxV := 0.0
+	for i := 0; i < n; i++ {
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	y := newScale(0, maxV, marginT+plotH, marginT)
+	barW := plotW / float64(n)
+	for i := 0; i < n; i++ {
+		x := marginL + float64(i)*barW
+		if !math.IsNaN(values[i]) {
+			top := y.at(values[i])
+			s.rect(x+1, top, barW-2, marginT+plotH-top, colorPrimary, 0.85)
+		}
+		if barW > 22 {
+			s.textRotated(x+barW/2, float64(defaultH)-8, 9, -35, truncate(labels[i], 10))
+		}
+	}
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	return s.String()
+}
+
+// StripSVG renders per-group value strips (dependence-insight view):
+// one jittered column of points per category, group means marked.
+func StripSVG(values []float64, groups []int, groupLabels []string, title string, maxPoints int) string {
+	if maxPoints <= 0 {
+		maxPoints = 1200
+	}
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	k := len(groupLabels)
+	n := len(values)
+	if len(groups) < n {
+		n = len(groups)
+	}
+	if k == 0 || n == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if !math.IsNaN(values[i]) {
+			minV = math.Min(minV, values[i])
+			maxV = math.Max(maxV, values[i])
+		}
+	}
+	if minV > maxV {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	y := newScale(minV, maxV, marginT+plotH, marginT)
+	colW := plotW / float64(k)
+	sums := make([]float64, k)
+	counts := make([]float64, k)
+	step := 1
+	if n > maxPoints {
+		step = n / maxPoints
+	}
+	for i := 0; i < n; i += step {
+		g := groups[i]
+		if g < 0 || g >= k || math.IsNaN(values[i]) {
+			continue
+		}
+		cx := marginL + (float64(g)+0.5)*colW + jitter(i)*colW*0.3
+		s.circle(cx, y.at(values[i]), 2, categoryColor(g), 0.45)
+	}
+	for i := 0; i < n; i++ {
+		g := groups[i]
+		if g >= 0 && g < k && !math.IsNaN(values[i]) {
+			sums[g] += values[i]
+			counts[g]++
+		}
+	}
+	for g := 0; g < k; g++ {
+		cx := marginL + (float64(g)+0.5)*colW
+		if counts[g] > 0 {
+			mean := sums[g] / counts[g]
+			s.line(cx-colW*0.35, y.at(mean), cx+colW*0.35, y.at(mean), "#333", 2)
+		}
+		if colW > 24 {
+			s.textRotated(cx, float64(defaultH)-8, 9, -35, truncate(groupLabels[g], 10))
+		}
+	}
+	s.text(marginL-6, marginT+plotH, 10, "end", fmtNum(minV))
+	s.text(marginL-6, marginT+10, 10, "end", fmtNum(maxV))
+	return s.String()
+}
+
+// MosaicSVG renders a two-way contingency table as a shaded grid (the
+// categorical-association view); cell darkness encodes the joint
+// frequency.
+func MosaicSVG(table [][]int, rowLabels, colLabels []string, title string) string {
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	r := len(table)
+	c := 0
+	total := 0
+	maxCell := 0
+	for _, row := range table {
+		if len(row) > c {
+			c = len(row)
+		}
+		for _, v := range row {
+			total += v
+			if v > maxCell {
+				maxCell = v
+			}
+		}
+	}
+	if r == 0 || c == 0 || total == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	cellW := plotW / float64(c)
+	cellH := plotH / float64(r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c && j < len(table[i]); j++ {
+			opacity := 0.05
+			if maxCell > 0 {
+				opacity = 0.05 + 0.9*float64(table[i][j])/float64(maxCell)
+			}
+			s.rect(marginL+float64(j)*cellW+0.5, marginT+float64(i)*cellH+0.5,
+				cellW-1, cellH-1, colorPrimary, opacity)
+		}
+		if i < len(rowLabels) && cellH > 12 {
+			s.text(marginL-4, marginT+float64(i)*cellH+cellH/2+3, 9, "end", truncate(rowLabels[i], 8))
+		}
+	}
+	for j := 0; j < c && j < len(colLabels); j++ {
+		if cellW > 20 {
+			s.textRotated(marginL+float64(j)*cellW+cellW/2, float64(defaultH)-8, 9, -35, truncate(colLabels[j], 8))
+		}
+	}
+	return s.String()
+}
+
+// CorrelogramSVG renders Figure 2: a symmetric attribute×attribute
+// grid where each cell holds a circle whose radius and color encode
+// the correlation magnitude and sign. NaN cells stay empty.
+func CorrelogramSVG(names []string, matrix [][]float64, title string) string {
+	d := len(names)
+	labelSpace := 86.0
+	cell := 22.0
+	if d > 30 {
+		cell = 14
+	}
+	w := int(labelSpace + cell*float64(d) + 20)
+	h := int(labelSpace + cell*float64(d) + 40)
+	s := newSVG(w, h)
+	s.text(float64(w)/2, 18, 13, "middle", title)
+	x0, y0 := labelSpace, labelSpace
+	for i := 0; i < d; i++ {
+		// Row and column labels.
+		s.text(x0-5, y0+float64(i)*cell+cell/2+3, 9, "end", truncate(names[i], 12))
+		s.textRotated(x0+float64(i)*cell+cell/2+3, y0-5, 9, -55, truncate(names[i], 12))
+		for j := 0; j < d; j++ {
+			if i >= len(matrix) || j >= len(matrix[i]) {
+				continue
+			}
+			v := matrix[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			mag := math.Abs(v)
+			if mag > 1 {
+				mag = 1
+			}
+			color := colorPositive
+			if v < 0 {
+				color = colorNegative
+			}
+			s.circle(x0+float64(j)*cell+cell/2, y0+float64(i)*cell+cell/2,
+				mag*cell*0.42, color, 0.25+0.7*mag)
+		}
+	}
+	// Legend.
+	ly := float64(h) - 14
+	s.circle(x0, ly, 7, colorPositive, 0.8)
+	s.text(x0+12, ly+4, 10, "start", "positive")
+	s.circle(x0+90, ly, 7, colorNegative, 0.8)
+	s.text(x0+102, ly+4, 10, "start", "negative")
+	s.text(x0+190, ly+4, 10, "start", "size & intensity = |value|")
+	return s.String()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func truncate(t string, n int) string {
+	if len(t) <= n {
+		return t
+	}
+	return t[:n-1] + "…"
+}
+
+// jitter returns a deterministic pseudo-random offset in [-0.5, 0.5)
+// from an index, for strip plots.
+func jitter(i int) float64 {
+	x := uint64(i)*0x9E3779B97F4A7C15 + 0x123456789
+	x ^= x >> 33
+	return float64(x%1000)/1000 - 0.5
+}
+
+// HistogramDensitySVG renders a histogram with a Gaussian-KDE density
+// curve overlaid (Silverman bandwidth) — the multimodality-insight
+// view, where the smooth curve makes the modes visible.
+func HistogramDensitySVG(values []float64, title string) string {
+	h := stats.AutoHistogram(values, stats.FreedmanDiaconis)
+	s := newSVG(defaultW, defaultH)
+	s.text(defaultW/2, 18, 13, "middle", title)
+	if h.N == 0 {
+		s.text(defaultW/2, defaultH/2, 12, "middle", "no data")
+		return s.String()
+	}
+	plotW := float64(defaultW) - marginL - marginR
+	plotH := float64(defaultH) - marginT - marginB
+	// Bars drawn against density scale so the KDE curve shares the axis.
+	dens := h.Densities()
+	maxDens := 0.0
+	for _, d := range dens {
+		if d > maxDens {
+			maxDens = d
+		}
+	}
+	kde := stats.NewKDE(values, 0)
+	gx, gd := kde.Grid(160)
+	for _, d := range gd {
+		if d > maxDens {
+			maxDens = d
+		}
+	}
+	if maxDens == 0 {
+		maxDens = 1
+	}
+	x := newScale(h.Edges[0], h.Edges[len(h.Edges)-1], marginL, marginL+plotW)
+	y := newScale(0, maxDens, marginT+plotH, marginT)
+	binW := plotW / float64(len(h.Counts))
+	for i, d := range dens {
+		px := marginL + float64(i)*binW
+		top := y.at(d)
+		s.rect(px+0.5, top, binW-1, marginT+plotH-top, colorPrimary, 0.55)
+	}
+	// KDE polyline.
+	prevX, prevY := -1.0, 0.0
+	for i := range gx {
+		cx := x.at(gx[i])
+		cy := y.at(gd[i])
+		if cx < marginL || cx > marginL+plotW {
+			prevX = -1
+			continue
+		}
+		if prevX >= 0 {
+			s.line(prevX, prevY, cx, cy, colorAccent, 2)
+		}
+		prevX, prevY = cx, cy
+	}
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	s.text(marginL, float64(defaultH)-12, 10, "start", fmtNum(h.Edges[0]))
+	s.text(marginL+plotW, float64(defaultH)-12, 10, "end", fmtNum(h.Edges[len(h.Edges)-1]))
+	s.text(float64(defaultW)-marginR, marginT+8, 10, "end",
+		fmt.Sprintf("%d modes", kde.ModeCount(0)))
+	return s.String()
+}

@@ -1,0 +1,129 @@
+package viz
+
+import (
+	"fmt"
+
+	"foresight/internal/core"
+	"foresight/internal/frame"
+	"foresight/internal/stats"
+)
+
+// RenderSVG draws the preferred visualization of an insight against
+// its dataset, returning a self-contained SVG document.
+func RenderSVG(f *frame.Frame, in core.Insight) (string, error) {
+	title := insightTitle(in)
+	switch in.Vis {
+	case core.VisHistogram:
+		col, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		return HistogramSVG(col.Values(), title), nil
+	case core.VisHistogramDensity:
+		col, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		return HistogramDensitySVG(col.Values(), title), nil
+	case core.VisBoxPlot:
+		col, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		return BoxPlotSVG(col.Values(), title), nil
+	case core.VisPareto:
+		col, err := f.Categorical(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		return ParetoSVG(col.Dict(), col.Counts(), title, 0), nil
+	case core.VisBar:
+		col, err := f.Categorical(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		counts := col.Counts()
+		vals := make([]float64, len(counts))
+		for i, c := range counts {
+			vals[i] = float64(c)
+		}
+		return BarSVG(col.Dict(), vals, title, 0), nil
+	case core.VisScatterFit, core.VisScatter:
+		x, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		y, err := f.Numeric(in.Attrs[1])
+		if err != nil {
+			return "", err
+		}
+		var fit *stats.LinearFit
+		if in.Vis == core.VisScatterFit {
+			lf := stats.FitLine(x.Values(), y.Values())
+			fit = &lf
+		}
+		return ScatterSVG(x.Values(), y.Values(), fit, title, 0), nil
+	case core.VisStrip:
+		num, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		cat, err := f.Categorical(in.Attrs[1])
+		if err != nil {
+			return "", err
+		}
+		groups := make([]int, cat.Len())
+		for i, code := range cat.Codes() {
+			groups[i] = int(code)
+		}
+		return StripSVG(num.Values(), groups, cat.Dict(), title, 0), nil
+	case core.VisMosaic:
+		a, err := f.Categorical(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		b, err := f.Categorical(in.Attrs[1])
+		if err != nil {
+			return "", err
+		}
+		ct := stats.NewContingency(a.Codes(), b.Codes(), a.Cardinality(), b.Cardinality())
+		return MosaicSVG(ct.Counts, a.Dict(), b.Dict(), title), nil
+	case core.VisColorScatter:
+		x, err := f.Numeric(in.Attrs[0])
+		if err != nil {
+			return "", err
+		}
+		y, err := f.Numeric(in.Attrs[1])
+		if err != nil {
+			return "", err
+		}
+		z, err := f.Categorical(in.Attrs[2])
+		if err != nil {
+			return "", err
+		}
+		groups := make([]int, z.Len())
+		for i, code := range z.Codes() {
+			groups[i] = int(code)
+		}
+		return ColorScatterSVG(x.Values(), y.Values(), groups, title, 0), nil
+	default:
+		return "", fmt.Errorf("viz: no SVG renderer for visualization kind %q", in.Vis)
+	}
+}
+
+// insightTitle builds a chart title such as
+// "linear(xa, xb): pearson = 0.95".
+func insightTitle(in core.Insight) string {
+	attrs := ""
+	for i, a := range in.Attrs {
+		if i > 0 {
+			attrs += ", "
+		}
+		attrs += a
+	}
+	approx := ""
+	if in.Approx {
+		approx = "~"
+	}
+	return fmt.Sprintf("%s(%s): %s %s= %s", in.Class, attrs, in.Metric, approx, fmtNum(in.Score))
+}

@@ -1,0 +1,117 @@
+// Package viz renders Foresight's insight visualizations (paper §2.2:
+// histogram, box-and-whisker, Pareto chart, scatter with best-fit
+// line) and the overview correlogram of Figure 2, as self-contained
+// SVG documents and as ASCII panels for terminals. The renderers take
+// plain data slices so they stay decoupled from the frame and core
+// packages; render.go adapts an (Insight, Frame) pair onto them.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgBuilder accumulates SVG elements with a fixed canvas.
+type svgBuilder struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		w, h, w, h)
+	s.b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	return s
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string, opacity float64) {
+	fmt.Fprintf(&s.b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.3f"/>`,
+		x, y, w, h, fill, opacity)
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`,
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) circle(cx, cy, r float64, fill string, opacity float64) {
+	fmt.Fprintf(&s.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" fill-opacity="%.3f"/>`,
+		cx, cy, r, fill, opacity)
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escape(content))
+}
+
+func (s *svgBuilder) textRotated(x, y float64, size int, angle float64, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" text-anchor="end" transform="rotate(%.1f %.2f %.2f)">%s</text>`,
+		x, y, size, angle, x, y, escape(content))
+}
+
+func (s *svgBuilder) String() string {
+	return s.b.String() + "</svg>"
+}
+
+func escape(t string) string {
+	t = strings.ReplaceAll(t, "&", "&amp;")
+	t = strings.ReplaceAll(t, "<", "&lt;")
+	t = strings.ReplaceAll(t, ">", "&gt;")
+	return t
+}
+
+// scale maps [lo, hi] → [a, b] linearly; degenerate domains map to
+// the midpoint.
+type scale struct{ lo, hi, a, b float64 }
+
+func newScale(lo, hi, a, b float64) scale {
+	return scale{lo, hi, a, b}
+}
+
+func (s scale) at(v float64) float64 {
+	if s.hi == s.lo {
+		return (s.a + s.b) / 2
+	}
+	return s.a + (v-s.lo)/(s.hi-s.lo)*(s.b-s.a)
+}
+
+// Palette used across charts: a colorblind-safe pair plus accents.
+const (
+	colorPrimary  = "#4477AA"
+	colorAccent   = "#EE6677"
+	colorNeutral  = "#BBBBBB"
+	colorPositive = "#4477AA"
+	colorNegative = "#EE6677"
+)
+
+// categoryColor returns a distinct fill for group g.
+func categoryColor(g int) string {
+	palette := []string{"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB", "#000000"}
+	if g < 0 {
+		return colorNeutral
+	}
+	return palette[g%len(palette)]
+}
+
+// fmtNum renders a number compactly for labels.
+func fmtNum(v float64) string {
+	if math.IsNaN(v) {
+		return "–"
+	}
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
