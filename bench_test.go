@@ -324,3 +324,105 @@ func BenchmarkStatsSpearman(b *testing.B) {
 		stats.Spearman(x, y)
 	}
 }
+
+// --- Scoring cache: repeated-query serving (ISSUE 1 tentpole) ---
+
+func newCacheBenchEngine(b *testing.B) *query.Engine {
+	b.Helper()
+	f := datagen.Scalable(datagen.ScalableConfig{Rows: 4000, NumericCols: 24, CatCols: 3, Seed: 12})
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine
+}
+
+// BenchmarkQueryCold scores every candidate from scratch on each
+// request (memo disabled): the pre-cache serving cost.
+func BenchmarkQueryCold(b *testing.B) {
+	engine := newCacheBenchEngine(b)
+	engine.SetCacheEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Carousels(5, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCached serves the same request from the memo: only
+// filtering and top-k ranking remain on the hot path.
+func BenchmarkQueryCached(b *testing.B) {
+	engine := newCacheBenchEngine(b)
+	if _, err := engine.Carousels(5, false); err != nil { // warm the memo
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Carousels(5, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverviewCached measures the Figure-2 heat map served from
+// the memo (cold cost is BenchmarkE2Overview/E6AllPairsExact).
+func BenchmarkOverviewCached(b *testing.B) {
+	engine := newCacheBenchEngine(b)
+	if _, err := engine.Overview("linear", "", false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Overview("linear", "", false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- TopK: bounded min-heap vs full sort ---
+
+func benchInsights(n int, seed int64) []core.Insight {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]core.Insight, n)
+	for i := range ins {
+		ins[i] = core.Insight{
+			Class:  "linear",
+			Metric: "pearson",
+			Attrs:  []string{fmt.Sprintf("x%05d", i), fmt.Sprintf("y%05d", rng.Intn(n))},
+			Score:  rng.Float64(),
+		}
+	}
+	return ins
+}
+
+func BenchmarkTopKHeap(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		b.Run(fmt.Sprintf("n=%d/k=10", n), func(b *testing.B) {
+			ins := benchInsights(n, int64(n))
+			buf := make([]core.Insight, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, ins)
+				_ = core.TopK(buf, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkTopKSort is the pre-heap baseline: sort everything, slice
+// off the head.
+func BenchmarkTopKSort(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		b.Run(fmt.Sprintf("n=%d/k=10", n), func(b *testing.B) {
+			ins := benchInsights(n, int64(n))
+			buf := make([]core.Insight, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, ins)
+				core.SortInsights(buf)
+				_ = buf[:10]
+			}
+		})
+	}
+}

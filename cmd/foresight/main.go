@@ -10,6 +10,7 @@
 //	                    [-fix attr1,attr2] [-min 0.5] [-max 0.8] [-k 10] [-approx]
 //	foresight overview  -data file.csv [-class linear] [-svg out.svg]
 //	foresight render    -data file.csv -class linear -attrs x,y -svg out.svg
+//	foresight serve     -data file.csv [-addr :8600] [-workers 0] [-cache]
 //	foresight demo      -name oecd|parkinson|imdb -out file.csv
 //
 // -data accepts a CSV path or the names oecd, parkinson, imdb for the
@@ -19,10 +20,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"foresight"
+	"foresight/internal/server"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 		err = runRender(args)
 	case "demo":
 		err = runDemo(args)
+	case "serve":
+		err = runServe(args)
 	case "report":
 		err = runReport(args)
 	case "profile":
@@ -73,6 +78,7 @@ commands:
   render     one insight visualization as SVG
   report     self-contained HTML report (carousels + overview)
   profile    build and persist a sketch store (-parts for partitioned)
+  serve      start the demo web server (same UI as foresightd)
   demo       write a synthetic demo dataset as CSV
 
 run 'foresight <command> -h' for per-command flags`)
@@ -308,6 +314,38 @@ func runRender(args []string) error {
 	}
 	fmt.Printf("%s → %s\n", in.String(), *svgPath)
 	return nil
+}
+
+// runServe starts the demo web server over -data, mirroring
+// cmd/foresightd so the CLI binary alone can serve the UI.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "", "CSV path or demo dataset name")
+	addr := fs.String("addr", ":8600", "listen address")
+	k := fs.Int("k", 5, "insights per carousel")
+	approx := fs.Bool("approx", false, "answer queries from sketches")
+	workers := fs.Int("workers", 0, "parallel scoring workers (0 = GOMAXPROCS)")
+	cache := fs.Bool("cache", true, "memoize insight scores across queries")
+	profilePath := fs.String("profile", "", "load a saved sketch store (implies -approx)")
+	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
+	_ = fs.Parse(args)
+	if *profilePath != "" {
+		*approx = true
+	}
+	f, err := loadData(*data, *seed)
+	if err != nil {
+		return err
+	}
+	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath)
+	if err != nil {
+		return err
+	}
+	engine.SetWorkers(*workers)
+	engine.SetCacheEnabled(*cache)
+	srv := server.New(engine, *k, *approx)
+	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; stats at /api/stats)\n",
+		f.Summary(), *addr, engine.Workers(), *cache)
+	return http.ListenAndServe(*addr, srv)
 }
 
 func runDemo(args []string) error {

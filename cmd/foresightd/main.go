@@ -25,7 +25,8 @@ func main() {
 	addr := flag.String("addr", ":8600", "listen address")
 	k := flag.Int("k", 5, "insights per carousel")
 	approx := flag.Bool("approx", false, "answer queries from sketches")
-	workers := flag.Int("workers", 1, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "memoize insight scores across queries")
 	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
 	flag.Parse()
 
@@ -43,8 +44,10 @@ func main() {
 		log.Fatalf("foresightd: %v", err)
 	}
 	engine.SetWorkers(*workers)
+	engine.SetCacheEnabled(*cache)
 	srv := server.New(engine, *k, *approx)
-	log.Printf("foresightd: serving %s on http://localhost%s", f.Summary(), *addr)
+	log.Printf("foresightd: serving %s on http://localhost%s (workers=%d cache=%v; stats at /api/stats)",
+		f.Summary(), *addr, engine.Workers(), *cache)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 

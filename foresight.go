@@ -82,6 +82,9 @@ type (
 	Overview = query.Overview
 	// Session is an exploration session with focus insights.
 	Session = query.Session
+	// CacheStats is a snapshot of the engine's memoized scoring cache
+	// (hits, misses, entries, generation).
+	CacheStats = query.CacheStats
 )
 
 // OutlierDetector configures the outlier insight class.

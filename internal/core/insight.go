@@ -215,14 +215,73 @@ func SortInsights(ins []Insight) {
 	})
 }
 
-// TopK returns the k strongest insights (input order preserved
-// otherwise); k ≤ 0 returns all.
+// TopK returns the k strongest insights in SortInsights order
+// (descending score, ties broken by key); k ≤ 0 returns all, fully
+// sorted. For 0 < k < len(ins) the winners are selected with a
+// bounded min-heap in O(n log k) instead of sorting the whole input —
+// the result is a fresh slice and ins is left unmodified. The
+// selection matches sort-then-truncate exactly because the ordering
+// is total; inputs should be NaN-free (the engine filters NaN scores
+// before ranking), as NaN has no defined rank.
 func TopK(ins []Insight, k int) []Insight {
-	SortInsights(ins)
-	if k > 0 && k < len(ins) {
-		return ins[:k]
+	if k <= 0 || k >= len(ins) {
+		SortInsights(ins)
+		return ins
 	}
-	return ins
+	// h is a min-heap on ranking order: the root is the weakest
+	// retained insight, i.e. the next to be evicted.
+	h := make([]Insight, 0, k)
+	for _, in := range ins {
+		if len(h) < k {
+			h = append(h, in)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if outranks(in, h[0]) {
+			h[0] = in
+			siftDown(h, 0)
+		}
+	}
+	SortInsights(h)
+	return h
+}
+
+// outranks reports whether a ranks strictly ahead of b under the
+// SortInsights order.
+func outranks(a, b Insight) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Key() < b.Key()
+}
+
+func siftUp(h []Insight, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !outranks(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDown(h []Insight, i int) {
+	n := len(h)
+	for {
+		weakest := i
+		if l := 2*i + 1; l < n && outranks(h[weakest], h[l]) {
+			weakest = l
+		}
+		if r := 2*i + 2; r < n && outranks(h[weakest], h[r]) {
+			weakest = r
+		}
+		if weakest == i {
+			return
+		}
+		h[i], h[weakest] = h[weakest], h[i]
+		i = weakest
+	}
 }
 
 // validateMetric resolves metric ("" = default) against supported and

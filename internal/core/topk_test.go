@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomInsights builds n insights with colliding scores (quantized)
+// so tie-breaking paths are exercised.
+func randomInsights(n int, seed int64) []Insight {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]Insight, n)
+	for i := range ins {
+		ins[i] = Insight{
+			Class:  "c",
+			Metric: "m",
+			Attrs:  []string{fmt.Sprintf("attr%05d", i)}, // unique keys → total order
+			Score:  float64(rng.Intn(50)) / 50,           // many exact ties
+			Raw:    rng.NormFloat64(),
+		}
+	}
+	return ins
+}
+
+// TestTopKHeapMatchesSort asserts the bounded-heap selection is
+// bit-identical to sort-then-truncate for every k, including the ties
+// the key order must break deterministically.
+func TestTopKHeapMatchesSort(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		ins := randomInsights(n, int64(n))
+		for _, k := range []int{1, 2, 3, 5, n / 2, n - 1, n, n + 5, 0, -1} {
+			want := append([]Insight(nil), ins...)
+			SortInsights(want)
+			if k > 0 && k < len(want) {
+				want = want[:k]
+			}
+			got := TopK(append([]Insight(nil), ins...), k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key() != want[i].Key() || got[i].Score != want[i].Score ||
+					got[i].Raw != want[i].Raw {
+					t.Fatalf("n=%d k=%d: item %d = %v, want %v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKLeavesInputIntact documents the new aliasing contract: the
+// heap path returns a fresh slice and does not reorder its input.
+func TestTopKLeavesInputIntact(t *testing.T) {
+	ins := randomInsights(64, 9)
+	orig := append([]Insight(nil), ins...)
+	_ = TopK(ins, 5)
+	for i := range ins {
+		if ins[i].Key() != orig[i].Key() || ins[i].Score != orig[i].Score {
+			t.Fatalf("TopK(k<len) reordered its input at %d", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package query
+
+import (
+	"strings"
+	"sync"
+
+	"foresight/internal/core"
+)
+
+// This file implements the engine's memoized scoring cache. Foresight's
+// interactivity rests on answering insight queries in near-real-time
+// (paper §3), and the dominant workload is repeated queries over the
+// same dataset: every carousel refresh, overview, neighborhood and
+// focus update re-ranks the same candidate tuples. Scores depend only
+// on (class, metric, tuple, approx) for a fixed frame/profile, so they
+// are perfectly cacheable. The cache memoizes each scored slot, stamps
+// entries with a generation that SetProfile/InvalidateCache bump, and
+// collapses duplicate concurrent scoring of the same key
+// singleflight-style so a thundering herd of identical requests
+// computes each score exactly once. Filters (MinScore/MaxScore, Fixed,
+// Semantic) and ranking always apply after the memo lookup, so results
+// are bit-identical with the cache on or off.
+
+// CacheStats is a point-in-time snapshot of the engine's scoring
+// cache, exposed via Engine.CacheStats and the server's /api/stats.
+type CacheStats struct {
+	// Hits counts candidate lookups answered from the memo.
+	Hits uint64 `json:"hits"`
+	// Misses counts candidate lookups that needed scoring (including
+	// lookups that waited on another goroutine's in-flight scoring).
+	Misses uint64 `json:"misses"`
+	// Entries is the number of memoized scores in the live generation.
+	Entries int `json:"entries"`
+	// Generation increments on every invalidation (SetProfile or
+	// InvalidateCache); entries from older generations are gone.
+	Generation uint64 `json:"generation"`
+	// Enabled reports whether lookups consult the memo at all.
+	Enabled bool `json:"enabled"`
+}
+
+// cacheKey identifies one scored slot: the candidate tuple of a class
+// under a resolved metric, on the exact or the approximate backend.
+type cacheKey struct {
+	class  string
+	metric string
+	attrs  string // tuple joined with \x1f (never appears in names)
+	approx bool
+}
+
+func keyFor(class, metric string, approx bool, attrs []string) cacheKey {
+	return cacheKey{class: class, metric: metric, attrs: strings.Join(attrs, "\x1f"), approx: approx}
+}
+
+// inflightSlot is one in-flight scoring computation. The owner stores
+// the result and closes done; waiters block on done and read in.
+type inflightSlot struct {
+	done chan struct{}
+	in   core.Insight
+}
+
+// scoreCache is the concurrent, generation-stamped memo plus the
+// singleflight map. All fields are guarded by mu; scoring itself runs
+// outside the lock.
+type scoreCache struct {
+	mu       sync.Mutex
+	disabled bool
+	gen      uint64
+	entries  map[cacheKey]core.Insight
+	inflight map[cacheKey]*inflightSlot
+	hits     uint64
+	misses   uint64
+}
+
+func newScoreCache() *scoreCache {
+	return &scoreCache{
+		entries:  make(map[cacheKey]core.Insight),
+		inflight: make(map[cacheKey]*inflightSlot),
+	}
+}
+
+// invalidate starts a new generation: memoized entries are dropped and
+// in-flight computations from the old generation publish nowhere.
+// Counters survive so hit ratios remain observable across frames.
+func (sc *scoreCache) invalidate() {
+	sc.mu.Lock()
+	sc.gen++
+	sc.entries = make(map[cacheKey]core.Insight)
+	sc.inflight = make(map[cacheKey]*inflightSlot)
+	sc.mu.Unlock()
+}
+
+// SetCacheEnabled toggles the scoring memo. Disabling does not drop
+// existing entries; re-enabling resumes serving them (call
+// InvalidateCache for a cold start).
+func (e *Engine) SetCacheEnabled(on bool) {
+	e.cache.mu.Lock()
+	e.cache.disabled = !on
+	e.cache.mu.Unlock()
+}
+
+// CacheEnabled reports whether score lookups consult the memo.
+func (e *Engine) CacheEnabled() bool {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return !e.cache.disabled
+}
+
+// InvalidateCache drops every memoized score and bumps the cache
+// generation. SetProfile calls this automatically; call it directly
+// after mutating frame-derived state the engine cannot observe.
+func (e *Engine) InvalidateCache() { e.cache.invalidate() }
+
+// CacheStats returns a snapshot of the scoring-cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	sc := e.cache
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return CacheStats{
+		Hits:       sc.hits,
+		Misses:     sc.misses,
+		Entries:    len(sc.entries),
+		Generation: sc.gen,
+		Enabled:    !sc.disabled,
+	}
+}
+
+// scoreCandidates returns one scored slot per candidate tuple, in
+// candidate order (scoring errors become zero-value slots with NaN
+// score, recognizable by an empty Class). Slots are served from the
+// memo when possible; misses are scored with the engine's worker pool
+// and published, and concurrent duplicate scoring of the same key is
+// collapsed by waiting on the in-flight owner instead of recomputing.
+func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, metric string) []core.Insight {
+	sc := e.cache
+	sc.mu.Lock()
+	if sc.disabled {
+		sc.mu.Unlock()
+		return e.scoreCandidatesParallel(c, cands, approx, metric)
+	}
+	gen := sc.gen
+	class := c.Name()
+	out := make([]core.Insight, len(cands))
+	keys := make([]cacheKey, len(cands))
+	slots := make([]*inflightSlot, len(cands))
+	var owned, waiting []int
+	for i, attrs := range cands {
+		k := keyFor(class, metric, approx, attrs)
+		keys[i] = k
+		if in, ok := sc.entries[k]; ok {
+			out[i] = in
+			sc.hits++
+			continue
+		}
+		sc.misses++
+		if sl, ok := sc.inflight[k]; ok {
+			slots[i] = sl
+			waiting = append(waiting, i)
+			continue
+		}
+		sl := &inflightSlot{done: make(chan struct{})}
+		sc.inflight[k] = sl
+		slots[i] = sl
+		owned = append(owned, i)
+	}
+	sc.mu.Unlock()
+
+	profile := e.Profile()
+	runParallel(e.Workers(), len(owned), func(j int) {
+		i := owned[j]
+		in := scoreOne(c, e.frame, profile, cands[i], approx, metric)
+		out[i] = in
+		sl := slots[i]
+		sl.in = in
+		close(sl.done)
+		sc.mu.Lock()
+		// Publish only into the generation the computation started in;
+		// results that straddle an invalidation are returned to their
+		// callers but never pollute the new generation.
+		if sc.gen == gen {
+			sc.entries[keys[i]] = in
+			delete(sc.inflight, keys[i])
+		}
+		sc.mu.Unlock()
+	})
+	for _, i := range waiting {
+		<-slots[i].done
+		out[i] = slots[i].in
+	}
+	return out
+}

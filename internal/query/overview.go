@@ -44,7 +44,7 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 	if c.Arity() > 2 {
 		return nil, fmt.Errorf("query: class %q (arity %d) has no overview visualization", className, c.Arity())
 	}
-	if approx && e.profile == nil {
+	if approx && e.Profile() == nil {
 		return nil, fmt.Errorf("query: approximate overview requires a preprocessed profile")
 	}
 	resolvedMetric := metric
@@ -53,29 +53,21 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 	}
 	ov := &Overview{Class: className, Metric: resolvedMetric}
 
+	// Score every candidate through the memoized worker pool (the
+	// same path Execute uses), so SetWorkers parallelizes heat maps
+	// and repeated overviews hit the cache. Slots with an empty Class
+	// mark tuples whose scoring errored.
 	cands := c.Candidates(e.frame)
-	score := func(attrs []string) (core.Insight, bool) {
-		var in core.Insight
-		var err error
-		if approx {
-			in, err = c.ScoreApprox(e.profile, attrs, metric)
-		} else {
-			in, err = c.Score(e.frame, attrs, metric)
-		}
-		if err != nil {
-			return core.Insight{}, false
-		}
-		return in, true
-	}
+	scored := e.scoreCandidates(c, cands, approx, resolvedMetric)
 
 	switch c.Arity() {
 	case 1:
 		ov.RowAttrs = []string{resolvedMetric}
 		ov.Values = [][]float64{nil}
-		for _, attrs := range cands {
-			in, ok := score(attrs)
+		for i, attrs := range cands {
+			in := scored[i]
 			ov.ColAttrs = append(ov.ColAttrs, attrs[0])
-			if !ok {
+			if in.Class == "" {
 				ov.Values[0] = append(ov.Values[0], math.NaN())
 				continue
 			}
@@ -110,9 +102,9 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 				ov.Values[i][j] = math.NaN()
 			}
 		}
-		for _, attrs := range cands {
-			in, ok := score(attrs)
-			if !ok {
+		for i, attrs := range cands {
+			in := scored[i]
+			if in.Class == "" {
 				continue
 			}
 			ri, ci := rowIdx[attrs[0]], colIdx[attrs[1]]

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"foresight/internal/core"
+	"foresight/internal/frame"
+	"foresight/internal/sketch"
 )
 
 // The paper's stated future work is to "improve the scalability with
@@ -14,7 +16,10 @@ import (
 // engine can fan candidate scoring out over a worker pool. Results
 // are bit-identical to sequential execution (workers write to
 // per-candidate slots; filtering and ranking happen after the
-// barrier), so parallelism is purely a throughput knob.
+// barrier), so parallelism is purely a throughput knob. Execute and
+// Overview both route their scoring loops through this pool (via the
+// memo in cache.go), so SetWorkers applies to carousels, ad-hoc
+// queries, and heat maps alike.
 
 // SetWorkers sets the engine's scoring parallelism: 1 (default)
 // scores sequentially, 0 selects GOMAXPROCS, n > 1 uses n goroutines.
@@ -25,45 +30,30 @@ func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	e.mu.Lock()
 	e.workers = n
+	e.mu.Unlock()
 }
 
 // Workers reports the current scoring parallelism.
 func (e *Engine) Workers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.workers < 1 {
 		return 1
 	}
 	return e.workers
 }
 
-// scoreCandidatesParallel scores every candidate tuple with the
-// engine's worker pool, returning one slot per candidate (score NaN
-// or error → zero-value Insight with NaN score, filtered by callers).
-func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, q Query, metric string) []core.Insight {
-	out := make([]core.Insight, len(cands))
-	for i := range out {
-		out[i].Score = math.NaN()
-	}
-	score := func(i int) {
-		attrs := cands[i]
-		var in core.Insight
-		var err error
-		if q.Approx {
-			in, err = c.ScoreApprox(e.profile, attrs, metric)
-		} else {
-			in, err = c.Score(e.frame, attrs, metric)
+// runParallel applies fn to every index in [0, n) using up to the
+// given number of worker goroutines. Small batches run sequentially:
+// below two indices per worker the pool costs more than it saves.
+func runParallel(workers, n int, fn func(int)) {
+	if workers <= 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		if err != nil {
-			return
-		}
-		out[i] = in
-	}
-	workers := e.Workers()
-	if workers <= 1 || len(cands) < 2*workers {
-		for i := range cands {
-			score(i)
-		}
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -72,14 +62,42 @@ func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, q Query
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				score(i)
+				fn(i)
 			}
 		}()
 	}
-	for i := range cands {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+}
+
+// scoreOne scores a single candidate tuple, folding scoring errors
+// into a zero-value slot with NaN score (empty Class marks the error;
+// callers filter). This is the unit of work both the worker pool and
+// the memo operate on.
+func scoreOne(c core.Class, f *frame.Frame, p *sketch.DatasetProfile, attrs []string, approx bool, metric string) core.Insight {
+	var in core.Insight
+	var err error
+	if approx {
+		in, err = c.ScoreApprox(p, attrs, metric)
+	} else {
+		in, err = c.Score(f, attrs, metric)
+	}
+	if err != nil {
+		return core.Insight{Score: math.NaN()}
+	}
+	return in
+}
+
+// scoreCandidatesParallel scores every candidate tuple with the
+// engine's worker pool, bypassing the memo (one slot per candidate).
+func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, approx bool, metric string) []core.Insight {
+	out := make([]core.Insight, len(cands))
+	profile := e.Profile()
+	runParallel(e.Workers(), len(cands), func(i int) {
+		out[i] = scoreOne(c, e.frame, profile, cands[i], approx, metric)
+	})
 	return out
 }

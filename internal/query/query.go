@@ -10,6 +10,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"foresight/internal/core"
 	"foresight/internal/frame"
@@ -55,17 +56,30 @@ type Result struct {
 
 // Engine executes insight queries against one dataset. The profile is
 // optional; queries with Approx set fail without it.
+//
+// An Engine is safe for concurrent use: any number of goroutines may
+// call Execute, Carousels, Overview, and Neighborhood in parallel.
+// The configuration setters (SetProfile, SetWorkers, SetCacheEnabled)
+// may also run concurrently; a query that overlaps a SetProfile call
+// observes either the old or the new store.
 type Engine struct {
 	frame    *frame.Frame
 	registry *core.Registry
-	profile  *sketch.DatasetProfile
+	// mu guards the mutable configuration below so concurrent readers
+	// never observe a torn update; the score memo in cache.go carries
+	// its own finer-grained lock.
+	mu      sync.RWMutex
+	profile *sketch.DatasetProfile
 	// workers is the candidate-scoring parallelism (see SetWorkers);
 	// values < 2 mean sequential.
 	workers int
+	// cache memoizes per-candidate scores across queries (cache.go).
+	cache *scoreCache
 }
 
 // NewEngine returns an engine over f using the registry's insight
-// classes. profile may be nil (exact queries only).
+// classes. profile may be nil (exact queries only). The scoring memo
+// starts enabled; SetCacheEnabled(false) turns it off.
 func NewEngine(f *frame.Frame, reg *core.Registry, profile *sketch.DatasetProfile) (*Engine, error) {
 	if f == nil {
 		return nil, fmt.Errorf("query: nil frame")
@@ -73,7 +87,7 @@ func NewEngine(f *frame.Frame, reg *core.Registry, profile *sketch.DatasetProfil
 	if reg == nil {
 		reg = core.NewRegistry()
 	}
-	return &Engine{frame: f, registry: reg, profile: profile}, nil
+	return &Engine{frame: f, registry: reg, profile: profile, cache: newScoreCache()}, nil
 }
 
 // Frame returns the engine's dataset.
@@ -83,10 +97,21 @@ func (e *Engine) Frame() *frame.Frame { return e.frame }
 func (e *Engine) Registry() *core.Registry { return e.registry }
 
 // Profile returns the preprocessed sketch store (nil if absent).
-func (e *Engine) Profile() *sketch.DatasetProfile { return e.profile }
+func (e *Engine) Profile() *sketch.DatasetProfile {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.profile
+}
 
-// SetProfile attaches (or replaces) the preprocessed store.
-func (e *Engine) SetProfile(p *sketch.DatasetProfile) { e.profile = p }
+// SetProfile attaches (or replaces) the preprocessed store and
+// invalidates every memoized approximate score (the exact scores are
+// dropped too: one generation stamp covers the whole memo).
+func (e *Engine) SetProfile(p *sketch.DatasetProfile) {
+	e.mu.Lock()
+	e.profile = p
+	e.mu.Unlock()
+	e.cache.invalidate()
+}
 
 // Execute runs the query and returns one Result per class, in
 // registry order, omitting classes with no surviving insights.
@@ -95,7 +120,7 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if q.Approx && e.profile == nil {
+	if q.Approx && e.Profile() == nil {
 		return nil, fmt.Errorf("query: approximate query requires a preprocessed profile")
 	}
 	maxScore := q.MaxScore
@@ -126,7 +151,9 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 
 func (e *Engine) scoreClass(c core.Class, q Query, metric string, maxScore float64) []core.Insight {
 	// Filter candidates by the structural constraints first, then
-	// score (possibly in parallel), then filter by strength and rank.
+	// score (memoized, possibly in parallel), then filter by strength
+	// and rank. The memo keys on the resolved metric so explicit
+	// default-metric queries and "" share entries.
 	var cands [][]string
 	for _, attrs := range c.Candidates(e.frame) {
 		if !containsAll(attrs, q.Fixed) {
@@ -137,7 +164,11 @@ func (e *Engine) scoreClass(c core.Class, q Query, metric string, maxScore float
 		}
 		cands = append(cands, attrs)
 	}
-	scored := e.scoreCandidatesParallel(c, cands, q, metric)
+	resolved := metric
+	if resolved == "" {
+		resolved = c.Metrics()[0]
+	}
+	scored := e.scoreCandidates(c, cands, q.Approx, resolved)
 	ins := make([]core.Insight, 0, len(scored))
 	for _, in := range scored {
 		if math.IsNaN(in.Score) {

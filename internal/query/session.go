@@ -169,6 +169,16 @@ func (s *Session) relevance(in core.Insight) float64 {
 // Figure-1 ranking. Normalization is per class: strengths are divided
 // by the class maximum so the blend is scale-free.
 func (s *Session) Recommendations() ([]Result, error) {
+	return s.RecommendationsK(s.K)
+}
+
+// RecommendationsK is Recommendations with an explicit carousel
+// length, leaving the session's K untouched. A Session is not itself
+// synchronized, but this method only reads session state, so callers
+// that serialize mutations (FocusOn, Unfocus, field writes) behind a
+// write lock may run any number of RecommendationsK calls under read
+// locks concurrently — the engine underneath is fully concurrent.
+func (s *Session) RecommendationsK(k int) ([]Result, error) {
 	res, err := s.engine.Execute(Query{Approx: s.Approx})
 	if err != nil {
 		return nil, err
@@ -212,8 +222,8 @@ func (s *Session) Recommendations() ([]Result, error) {
 				ranked[i] = tmp[i].in
 			}
 		}
-		if s.K > 0 && s.K < len(ranked) {
-			ranked = ranked[:s.K]
+		if k > 0 && k < len(ranked) {
+			ranked = ranked[:k]
 		}
 		out = append(out, Result{Class: r.Class, Metric: r.Metric, Insights: ranked})
 	}

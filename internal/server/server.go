@@ -20,10 +20,16 @@ import (
 // Server wires one dataset, one engine and one exploration session
 // into an http.Handler. A demo server holds a single shared session,
 // like the paper's single-analyst demo.
+//
+// The engine is safe for concurrent use on its own; mu only protects
+// the shared session. Read-only endpoints (carousels, query,
+// overview, neighborhood, render, stats, state GET) take the read
+// lock or none at all, so they serve in parallel; only focus/unfocus
+// and state restore serialize behind the write lock.
 type Server struct {
 	engine  *query.Engine
 	session *query.Session
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	mux     *http.ServeMux
 }
 
@@ -45,6 +51,7 @@ func New(engine *query.Engine, k int, approx bool) *Server {
 	s.mux.HandleFunc("/api/focus", s.handleFocus)
 	s.mux.HandleFunc("/api/unfocus", s.handleUnfocus)
 	s.mux.HandleFunc("/api/state", s.handleState)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	return s
 }
 
@@ -124,11 +131,14 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCarousels(w http.ResponseWriter, r *http.Request) {
 	k := intParam(r, "k", 5)
-	s.mu.Lock()
-	s.session.K = k
-	res, err := s.session.Recommendations()
+	// Read lock only: the per-request k is passed explicitly instead
+	// of being written into the shared session, so any number of
+	// carousel requests rank concurrently (scores come from the
+	// engine's memo after the first request).
+	s.mu.RLock()
+	res, err := s.session.RecommendationsK(k)
 	focus := append([]core.Insight(nil), s.session.Focus...)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		s.jsonError(w, http.StatusInternalServerError, err)
 		return
@@ -312,11 +322,26 @@ func (s *Server) handleUnfocus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]interface{}{"removed": removed, "focus_count": n})
 }
 
+// handleStats reports the engine's scoring-cache counters and
+// concurrency configuration, for observing hit ratios and sizing the
+// worker pool under load.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	focusCount := len(s.session.Focus)
+	s.mu.RUnlock()
+	s.writeJSON(w, map[string]interface{}{
+		"cache":       s.engine.CacheStats(),
+		"workers":     s.engine.Workers(),
+		"dataset":     s.engine.Frame().Name(),
+		"focus_count": focusCount,
+	})
+}
+
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.session.Save(w); err != nil {
 			s.jsonError(w, http.StatusInternalServerError, err)

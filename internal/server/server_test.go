@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"foresight/internal/core"
@@ -344,4 +346,164 @@ func TestNeighborhoodEndpoint(t *testing.T) {
 		t.Errorf("bad class = %d", res2.StatusCode)
 	}
 	res2.Body.Close()
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Warm the cache with one carousel request, then a second for hits.
+	getJSON(t, ts.URL+"/api/carousels?k=3", nil)
+	getJSON(t, ts.URL+"/api/carousels?k=5", nil)
+	var out struct {
+		Cache   query.CacheStats `json:"cache"`
+		Workers int              `json:"workers"`
+		Dataset string           `json:"dataset"`
+	}
+	getJSON(t, ts.URL+"/api/stats", &out)
+	if out.Dataset != "oecd" || out.Workers < 1 {
+		t.Errorf("stats = %+v", out)
+	}
+	if !out.Cache.Enabled || out.Cache.Misses == 0 || out.Cache.Entries == 0 {
+		t.Errorf("cache never filled: %+v", out.Cache)
+	}
+	if out.Cache.Hits == 0 {
+		t.Errorf("second carousel request should hit the memo: %+v", out.Cache)
+	}
+}
+
+// TestConcurrentReadEndpoints hammers every read-only endpoint from
+// many goroutines against one server (run under -race) and checks the
+// carousel payload stays identical to the single-threaded answer.
+func TestConcurrentReadEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	var golden struct {
+		Carousels []query.Result `json:"carousels"`
+	}
+	getJSON(t, ts.URL+"/api/carousels?k=3", &golden)
+	if len(golden.Carousels) == 0 {
+		t.Fatal("no golden carousels")
+	}
+	urls := []string{
+		"/api/carousels?k=3",
+		"/api/query?class=linear&k=5",
+		"/api/overview?class=linear",
+		"/api/neighborhood?class=linear&attrs=LifeSatisfaction,SelfReportedHealth&k=5",
+		"/api/stats",
+		"/api/dataset",
+		"/api/state",
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				url := urls[(c+round)%len(urls)]
+				res, err := http.Get(ts.URL + url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.StatusCode != 200 {
+					t.Errorf("%s = %d", url, res.StatusCode)
+					res.Body.Close()
+					return
+				}
+				if url == urls[0] {
+					var out struct {
+						Carousels []query.Result `json:"carousels"`
+					}
+					if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+						t.Error(err)
+						res.Body.Close()
+						return
+					}
+					if len(out.Carousels) != len(golden.Carousels) {
+						t.Errorf("carousels %d vs %d", len(out.Carousels), len(golden.Carousels))
+					} else {
+						for i := range out.Carousels {
+							a, b := golden.Carousels[i], out.Carousels[i]
+							if a.Class != b.Class || len(a.Insights) != len(b.Insights) {
+								t.Errorf("carousel %d shape differs", i)
+								continue
+							}
+							for j := range a.Insights {
+								if a.Insights[j].Key() != b.Insights[j].Key() ||
+									a.Insights[j].Score != b.Insights[j].Score {
+									t.Errorf("carousel %d[%d] differs", i, j)
+								}
+							}
+						}
+					}
+				} else {
+					_, _ = io.Copy(io.Discard, res.Body)
+				}
+				res.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentFocusAndReads mixes writers (focus/unfocus) with the
+// read endpoints; meant for -race, asserts only well-formed responses.
+func TestConcurrentFocusAndReads(t *testing.T) {
+	ts := newTestServer(t)
+	var golden struct {
+		Carousels []query.Result `json:"carousels"`
+	}
+	getJSON(t, ts.URL+"/api/carousels?k=2", &golden)
+	var linear *query.Result
+	for i := range golden.Carousels {
+		if golden.Carousels[i].Class == "linear" {
+			linear = &golden.Carousels[i]
+		}
+	}
+	if linear == nil || len(linear.Insights) == 0 {
+		t.Fatal("no linear carousel")
+	}
+	top := linear.Insights[0]
+	body, _ := json.Marshal(map[string]interface{}{
+		"class": top.Class, "metric": top.Metric, "attrs": top.Attrs,
+	})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				if c%3 == 0 {
+					if round%2 == 0 {
+						res, err := http.Post(ts.URL+"/api/focus", "application/json",
+							strings.NewReader(string(body)))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						res.Body.Close()
+					} else {
+						req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/unfocus?key="+top.Key(), nil)
+						res, err := http.DefaultClient.Do(req)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						res.Body.Close()
+					}
+					continue
+				}
+				res, err := http.Get(ts.URL + "/api/carousels?k=2")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.StatusCode != 200 {
+					t.Errorf("carousels = %d", res.StatusCode)
+				}
+				_, _ = io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
 }
