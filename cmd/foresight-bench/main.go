@@ -2,9 +2,10 @@
 // figure (E1, E2), every quantified claim (E3 accuracy, E4
 // preprocessing speedup, E5 interactive latency, E6 all-pairs
 // complexity), the §4.1 usage scenario (E7), the §4.2 demo datasets
-// (E8), the memoized-cache serving experiment (E9), and the
-// sketch-parameter ablations. Results print to stdout
-// and, with -out, land as TSV/SVG artifacts.
+// (E8), the memoized-cache serving experiment (E9), the
+// observability-overhead guardrail (E10), and the sketch-parameter
+// ablations. Results print to stdout and, with -out, land as TSV/SVG
+// artifacts.
 //
 // Usage:
 //
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,ablations")
+	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,ablations")
 	out := flag.String("out", "", "directory for TSV/SVG artifacts (empty = stdout only)")
 	full := flag.Bool("full", false, "paper-scale sizes (n=100K, d up to 200; slower)")
 	seed := flag.Int64("seed", 42, "experiment seed")
@@ -100,6 +101,13 @@ func main() {
 			rows9, dims9 = 100000, 64
 		}
 		return bench.RunE9CacheServing(w, *out, bench.E9Config{Rows: rows9, Dims: dims9, Seed: *seed})
+	})
+	run("e10", func() error {
+		rows10, dims10 := 20000, 32
+		if *full {
+			rows10, dims10 = 100000, 64
+		}
+		return bench.RunE10ObsOverhead(w, *out, bench.E10Config{Rows: rows10, Dims: dims10, Seed: *seed})
 	})
 	run("ablations", func() error { return bench.RunAllAblations(w, *out, *seed) })
 

@@ -342,8 +342,8 @@ func runServe(args []string) error {
 	}
 	engine.SetWorkers(*workers)
 	engine.SetCacheEnabled(*cache)
-	srv := server.New(engine, *k, *approx)
-	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; stats at /api/stats)\n",
+	srv := server.New(engine, *k, *approx, server.Options{LogWriter: os.Stderr})
+	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats)\n",
 		f.Summary(), *addr, engine.Workers(), *cache)
 	return http.ListenAndServe(*addr, srv)
 }

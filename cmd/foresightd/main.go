@@ -7,6 +7,13 @@
 //
 //	foresightd -data oecd              # built-in demo dataset
 //	foresightd -data mydata.csv -addr :8080 -approx
+//	foresightd -data oecd -debug-addr :8601   # pprof + /metrics sidecar
+//
+// The main listener exposes Prometheus metrics at /metrics, recent
+// slow-request traces at /api/debug/traces, and operational stats at
+// /api/stats. With -debug-addr a second listener additionally serves
+// net/http/pprof under /debug/pprof/ (kept off the main port so
+// profiling endpoints are never exposed to UI traffic).
 package main
 
 import (
@@ -14,21 +21,43 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
+	"time"
 
 	"foresight"
+	"foresight/internal/obs"
 	"foresight/internal/server"
+	"foresight/internal/sketch"
 )
+
+// version is stamped via -ldflags "-X main.version=..." in release
+// builds; "dev" otherwise.
+var version = "dev"
 
 func main() {
 	data := flag.String("data", "oecd", "CSV path or demo dataset name (oecd|parkinson|imdb)")
 	addr := flag.String("addr", ":8600", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address for /debug/pprof/ and /metrics")
 	k := flag.Int("k", 5, "insights per carousel")
 	approx := flag.Bool("approx", false, "answer queries from sketches")
 	workers := flag.Int("workers", 0, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "memoize insight scores across queries")
 	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
+	slowMS := flag.Int("slow-ms", 0, "only record request traces at least this slow (0 = record all)")
+	quiet := flag.Bool("quiet", false, "suppress per-request JSON logs on stderr")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	// Sketch build/merge timings surface as a labeled histogram; the
+	// observer is installed before any profile is built so -approx
+	// preprocessing is captured too.
+	sketchSeconds := reg.HistogramVec("foresight_sketch_seconds",
+		"Sketch build/merge phase latency in seconds.", nil, "op")
+	sketch.SetTimingObserver(func(op string, d time.Duration) {
+		sketchSeconds.With(op).Observe(d.Seconds())
+	})
 
 	f, err := loadData(*data, *seed)
 	if err != nil {
@@ -45,10 +74,40 @@ func main() {
 	}
 	engine.SetWorkers(*workers)
 	engine.SetCacheEnabled(*cache)
-	srv := server.New(engine, *k, *approx)
-	log.Printf("foresightd: serving %s on http://localhost%s (workers=%d cache=%v; stats at /api/stats)",
-		f.Summary(), *addr, engine.Workers(), *cache)
+
+	opts := server.Options{
+		Registry:           reg,
+		LogWriter:          os.Stderr,
+		SlowTraceThreshold: time.Duration(*slowMS) * time.Millisecond,
+		Version:            version,
+	}
+	if *quiet {
+		opts.LogWriter = nil
+	}
+	srv := server.New(engine, *k, *approx, opts)
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, reg)
+	}
+	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats, /api/debug/traces)",
+		version, f.Summary(), *addr, engine.Workers(), *cache)
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// serveDebug runs the pprof + metrics sidecar listener. pprof's
+// handlers are registered explicitly rather than via the package's
+// DefaultServeMux side effect, so importing net/http/pprof never
+// leaks profiling routes onto the main server.
+func serveDebug(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	log.Printf("foresightd: debug listener on http://localhost%s (pprof at /debug/pprof/)", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
 }
 
 func loadData(path string, seed int64) (*foresight.Frame, error) {

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/obs"
+	"foresight/internal/query"
+)
+
+// E10Config sizes the instrumentation-overhead experiment.
+type E10Config struct {
+	Rows, Dims int
+	// Iters is the number of warm (fully cached) requests timed per
+	// configuration.
+	Iters int
+	Seed  int64
+}
+
+// RunE10ObsOverhead quantifies the cost of the observability layer on
+// the hot serving path: the warm, fully-cached carousel request —
+// the request shape every interactive client hits after first paint,
+// and the one where fixed per-request overhead is most visible since
+// no scoring work hides it. It times the same engine and cache state
+// three ways: uninstrumented, with the metrics registry attached
+// (Instrument), and with metrics plus a per-request trace. The
+// guardrail: metrics overhead on this path must stay within ~5%.
+func RunE10ObsOverhead(w io.Writer, outDir string, cfg E10Config) error {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20000
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = 32
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	f := datagen.Scalable(datagen.ScalableConfig{
+		Rows: cfg.Rows, NumericCols: cfg.Dims, CatCols: 3, Seed: cfg.Seed,
+	})
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		return err
+	}
+	// One cold pass fills the score cache; every timed request below
+	// is served from the memo, so the three configurations differ only
+	// in instrumentation.
+	if _, err := engine.Carousels(5, false); err != nil {
+		return err
+	}
+
+	perReq := func(ctx context.Context) (time.Duration, error) {
+		var reqErr error
+		total := timeIt(func() {
+			for i := 0; i < cfg.Iters; i++ {
+				if _, err := engine.CarouselsContext(ctx, 5, false); err != nil {
+					reqErr = err
+					return
+				}
+			}
+		})
+		return total / time.Duration(cfg.Iters), reqErr
+	}
+
+	base, err := perReq(context.Background())
+	if err != nil {
+		return err
+	}
+	engine.Instrument(obs.NewRegistry())
+	metered, err := perReq(context.Background())
+	if err != nil {
+		return err
+	}
+	traceCtx := obs.WithTrace(context.Background(), obs.NewTrace("bench", "e10"))
+	traced, err := perReq(traceCtx)
+	if err != nil {
+		return err
+	}
+
+	delta := func(d time.Duration) float64 {
+		return 100 * (float64(d)/float64(base) - 1)
+	}
+	t := NewTable(fmt.Sprintf("E10: observability overhead, warm cached carousel (n=%d, d=%d, %d iters)",
+		cfg.Rows, cfg.Dims+3, cfg.Iters),
+		"configuration", "per request", "vs baseline")
+	t.AddRow("uninstrumented", base, "—")
+	t.AddRow("metrics registry", metered, fmt.Sprintf("%+.1f%%", delta(metered)))
+	t.AddRow("metrics + trace", traced, fmt.Sprintf("%+.1f%%", delta(traced)))
+	t.Print(w)
+	if d := delta(metered); d > 5 {
+		fmt.Fprintf(w, "WARNING: metrics overhead %.1f%% exceeds the 5%% guardrail.\n", d)
+	} else {
+		fmt.Fprintln(w, "metrics overhead within the 5% guardrail for the cached path.")
+	}
+	return t.WriteTSV(outDir, "e10_obs")
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP instrumentation middleware: request IDs, per-route metrics,
+// structured request logs, and request traces, composed per route by
+// HTTP.Wrap. Every piece is optional — a zero HTTP value wraps into a
+// request-ID-only middleware.
+
+// RequestIDHeader is honored on requests and always set on responses
+// so clients, log lines and traces correlate.
+const RequestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+var requestSeq atomic.Uint64
+
+// NewRequestID returns a fresh request ID: 8 random bytes hex, with a
+// process-local sequence fallback if the system RNG fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", requestSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestIDFrom returns the request ID stored on the context by Wrap
+// ("" when the request did not pass through the middleware).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// HTTPMetrics bundles the standard per-route HTTP metric families.
+type HTTPMetrics struct {
+	// Requests counts completed requests by route and status code.
+	Requests *CounterVec
+	// Latency is the per-route request duration histogram (seconds).
+	Latency *HistogramVec
+	// Inflight is the number of requests currently being served.
+	Inflight *Gauge
+	// ResponseBytes counts body bytes written, by route.
+	ResponseBytes *CounterVec
+}
+
+// NewHTTPMetrics registers (or re-resolves) the standard HTTP metric
+// families under the given name prefix, e.g. "foresight_http".
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests:      r.CounterVec(prefix+"_requests_total", "Completed HTTP requests by route and status code.", "route", "code"),
+		Latency:       r.HistogramVec(prefix+"_request_seconds", "HTTP request latency by route.", DefBuckets, "route"),
+		Inflight:      r.Gauge(prefix+"_inflight_requests", "HTTP requests currently being served."),
+		ResponseBytes: r.CounterVec(prefix+"_response_bytes_total", "HTTP response body bytes by route.", "route"),
+	}
+}
+
+// responseWriter captures status and bytes written.
+type responseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *responseWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *responseWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *responseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// HTTP composes the per-request observability stack. Nil fields are
+// skipped, so callers enable exactly the pieces they want.
+type HTTP struct {
+	Metrics *HTTPMetrics
+	Log     *Logger
+	Traces  *TraceLog
+}
+
+// Wrap instruments next as the handler for route (the registered mux
+// pattern — used as the metric label and trace name so cardinality
+// stays bounded). The middleware assigns/propagates the request ID,
+// attaches a trace to the context, records per-route metrics, logs a
+// structured line, and files the finished trace in the trace log.
+func (h *HTTP) Wrap(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+
+		var tr *Trace
+		if h.Traces != nil {
+			tr = NewTrace(route, reqID)
+			ctx = WithTrace(ctx, tr)
+		}
+		rw := &responseWriter{ResponseWriter: w}
+		if h.Metrics != nil {
+			h.Metrics.Inflight.Add(1)
+		}
+		start := time.Now()
+		next.ServeHTTP(rw, r.WithContext(ctx))
+		dur := time.Since(start)
+		if rw.status == 0 {
+			rw.status = http.StatusOK
+		}
+
+		if h.Metrics != nil {
+			h.Metrics.Inflight.Add(-1)
+			h.Metrics.Requests.With(route, strconv.Itoa(rw.status)).Inc()
+			h.Metrics.Latency.With(route).Observe(dur.Seconds())
+			h.Metrics.ResponseBytes.With(route).Add(uint64(rw.bytes))
+		}
+		if tr != nil {
+			h.Traces.Record(tr.Finish())
+		}
+		h.Log.Log("request", map[string]interface{}{
+			"request_id":  reqID,
+			"method":      r.Method,
+			"route":       route,
+			"path":        r.URL.Path,
+			"status":      rw.status,
+			"duration_ms": float64(dur) / float64(time.Millisecond),
+			"bytes":       rw.bytes,
+			"remote":      r.RemoteAddr,
+		})
+	})
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWrapFullStack(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf strings.Builder
+	h := &HTTP{
+		Metrics: NewHTTPMetrics(reg, "test_http"),
+		Log:     NewLogger(&logBuf),
+		Traces:  NewTraceLog(8, 0),
+	}
+	handler := h.Wrap("/api/thing", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer StartSpan(r.Context(), "work")()
+		if RequestIDFrom(r.Context()) == "" {
+			t.Error("no request id on context")
+		}
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("hello"))
+	}))
+
+	req := httptest.NewRequest("GET", "/api/thing?x=1", nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Error("response missing X-Request-ID")
+	}
+	// Metrics recorded under the route label and real status.
+	if got := h.Metrics.Requests.With("/api/thing", "418").Value(); got != 1 {
+		t.Errorf("request counter = %d, want 1", got)
+	}
+	if got := h.Metrics.Latency.With("/api/thing").Count(); got != 1 {
+		t.Errorf("latency count = %d, want 1", got)
+	}
+	if got := h.Metrics.ResponseBytes.With("/api/thing").Value(); got != 5 {
+		t.Errorf("bytes = %d, want 5", got)
+	}
+	if got := h.Metrics.Inflight.Value(); got != 0 {
+		t.Errorf("inflight = %d, want 0 after completion", got)
+	}
+	// Trace recorded with the handler's span.
+	traces := h.Traces.Snapshot()
+	if len(traces) != 1 || len(traces[0].Spans) != 1 || traces[0].Spans[0].Name != "work" {
+		t.Errorf("traces = %+v", traces)
+	}
+	// Structured log line parses and carries the request fields.
+	var line map[string]interface{}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(logBuf.String())), &line); err != nil {
+		t.Fatalf("log line not JSON: %v (%q)", err, logBuf.String())
+	}
+	if line["msg"] != "request" || line["route"] != "/api/thing" ||
+		line["status"] != float64(418) || line["bytes"] != float64(5) {
+		t.Errorf("log line = %v", line)
+	}
+	if line["request_id"] == "" || line["ts"] == nil {
+		t.Errorf("log line missing correlation fields: %v", line)
+	}
+}
+
+func TestWrapHonorsIncomingRequestID(t *testing.T) {
+	h := &HTTP{}
+	var seen string
+	handler := h.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "caller-chosen-id")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if seen != "caller-chosen-id" {
+		t.Errorf("context id = %q", seen)
+	}
+	if rec.Header().Get(RequestIDHeader) != "caller-chosen-id" {
+		t.Errorf("echoed id = %q", rec.Header().Get(RequestIDHeader))
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Errorf("ids not unique: %q %q", a, b)
+	}
+}
+
+func TestZeroHTTPWrap(t *testing.T) {
+	// A zero HTTP still assigns request IDs and must not panic.
+	h := &HTTP{}
+	handler := h.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Error("zero HTTP should still assign request IDs")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger writes structured JSON log lines: one object per line with a
+// ts timestamp, a msg, and arbitrary fields. Fields marshal with
+// sorted keys (map marshaling), so lines are stable and grep-able. A
+// nil Logger (or a Logger over a nil writer) discards everything, so
+// call sites never guard.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing to w; nil w yields a logger that
+// discards all output.
+func NewLogger(w io.Writer) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Log writes one JSON line with ts, msg, and the given fields. Fields
+// named "ts" or "msg" are overridden.
+func (l *Logger) Log(msg string, fields map[string]interface{}) {
+	if l == nil || l.w == nil {
+		return
+	}
+	rec := make(map[string]interface{}, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["msg"] = msg
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// Unmarshalable field (shouldn't happen for the middleware's
+		// scalar fields); drop the record rather than corrupt the stream.
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+}

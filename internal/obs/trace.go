@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request tracing: one Trace per request rides the context through
+// the serving path; each layer opens named spans (parse → candidate
+// enumeration → scoring → rank → render) so a slow request shows
+// where its time went. Finished traces land in a TraceLog ring buffer
+// served at /api/debug/traces. Tracing is nil-safe throughout: code
+// instruments unconditionally and pays one pointer check when no
+// trace is attached.
+
+// Span is one named, timed section of a trace. Start is the offset
+// from the trace start.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"duration_ms"`
+}
+
+// Trace is one request's span collection. A Trace is safe for
+// concurrent span recording (parallel scoring may close spans from
+// worker goroutines).
+type Trace struct {
+	id    string
+	name  string
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace. name is typically the route; id the
+// request ID.
+func NewTrace(name, id string) *Trace {
+	return &Trace{id: id, name: name, start: time.Now()}
+}
+
+// StartSpan opens a named span and returns the function that closes
+// it. Safe on a nil trace (returns a no-op), so callers never guard.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			StartMS: float64(start.Sub(t.start)) / float64(time.Millisecond),
+			DurMS:   float64(end.Sub(start)) / float64(time.Millisecond),
+		})
+		t.mu.Unlock()
+	}
+}
+
+var nopEnd = func() {}
+
+// Finish closes the trace and returns its immutable snapshot.
+func (t *Trace) Finish() TraceSnapshot {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartMS < spans[j].StartMS })
+	return TraceSnapshot{
+		ID:    t.id,
+		Name:  t.name,
+		Start: t.start,
+		DurMS: float64(time.Since(t.start)) / float64(time.Millisecond),
+		Spans: spans,
+	}
+}
+
+// TraceSnapshot is a finished trace as served by /api/debug/traces.
+type TraceSnapshot struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMS float64   `json:"duration_ms"`
+	Spans []Span    `json:"spans"`
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches t to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil. The nil result is
+// directly usable: all Trace methods are nil-safe.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace (no-op without one).
+func StartSpan(ctx context.Context, name string) func() {
+	return TraceFrom(ctx).StartSpan(name)
+}
+
+// TraceLog is a fixed-capacity ring buffer of recent traces. With a
+// nonzero slow threshold only traces at least that long are kept, so
+// the buffer retains the interesting tail under heavy fast traffic.
+type TraceLog struct {
+	mu       sync.Mutex
+	capacity int
+	slow     time.Duration
+	buf      []TraceSnapshot // ring, oldest overwritten first
+	next     int
+	total    uint64 // recorded traces ever (post-threshold)
+}
+
+// NewTraceLog returns a ring buffer holding up to capacity traces
+// (64 when capacity ≤ 0) whose duration is at least slow (0 keeps
+// everything).
+func NewTraceLog(capacity int, slow time.Duration) *TraceLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceLog{capacity: capacity, slow: slow}
+}
+
+// Record finishes nothing — it stores an already-finished snapshot if
+// it clears the slow threshold.
+func (l *TraceLog) Record(s TraceSnapshot) {
+	if l == nil {
+		return
+	}
+	if time.Duration(s.DurMS*float64(time.Millisecond)) < l.slow {
+		return
+	}
+	l.mu.Lock()
+	if len(l.buf) < l.capacity {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[l.next] = s
+	}
+	l.next = (l.next + 1) % l.capacity
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns how many traces have been recorded (not just those
+// still in the buffer).
+func (l *TraceLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the buffered traces, most recent first.
+func (l *TraceLog) Snapshot() []TraceSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(l.buf))
+	for i := 0; i < len(l.buf); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (l.next - 1 - i + 2*l.capacity) % l.capacity
+		if idx < len(l.buf) {
+			out = append(out, l.buf[idx])
+		}
+	}
+	return out
+}

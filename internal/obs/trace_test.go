@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("/api/query", "req-1")
+	end := tr.StartSpan("score")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	tr.StartSpan("rank")() // instant span
+	s := tr.Finish()
+	if s.Name != "/api/query" || s.ID != "req-1" {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if len(s.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(s.Spans))
+	}
+	if s.Spans[0].Name != "score" || s.Spans[0].DurMS < 1 {
+		t.Errorf("score span = %+v", s.Spans[0])
+	}
+	if s.DurMS < s.Spans[0].DurMS {
+		t.Errorf("trace duration %v < span duration %v", s.DurMS, s.Spans[0].DurMS)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("anything")() // must not panic
+	ctx := context.Background()
+	StartSpan(ctx, "no trace attached")() // no-op without a trace
+	if TraceFrom(ctx) != nil {
+		t.Error("TraceFrom on bare context should be nil")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTrace("op", "id")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("trace not propagated")
+	}
+	end := StartSpan(ctx, "phase")
+	end()
+	if n := len(tr.Finish().Spans); n != 1 {
+		t.Errorf("spans = %d, want 1", n)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTrace("op", "id")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.StartSpan(fmt.Sprintf("w%d", i))()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := len(tr.Finish().Spans); n != 400 {
+		t.Errorf("spans = %d, want 400", n)
+	}
+}
+
+func TestTraceLogRing(t *testing.T) {
+	l := NewTraceLog(4, 0)
+	for i := 0; i < 6; i++ {
+		l.Record(TraceSnapshot{ID: fmt.Sprintf("t%d", i)})
+	}
+	got := l.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("buffered = %d, want 4", len(got))
+	}
+	// Most recent first; the two oldest (t0, t1) were evicted.
+	for i, want := range []string{"t5", "t4", "t3", "t2"} {
+		if got[i].ID != want {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i].ID, want)
+		}
+	}
+	if l.Total() != 6 {
+		t.Errorf("total = %d, want 6", l.Total())
+	}
+}
+
+func TestTraceLogSlowThreshold(t *testing.T) {
+	l := NewTraceLog(8, 10*time.Millisecond)
+	l.Record(TraceSnapshot{ID: "fast", DurMS: 1})
+	l.Record(TraceSnapshot{ID: "slow", DurMS: 50})
+	got := l.Snapshot()
+	if len(got) != 1 || got[0].ID != "slow" {
+		t.Errorf("snapshot = %+v, want only the slow trace", got)
+	}
+}
+
+func TestNilTraceLogRecord(t *testing.T) {
+	var l *TraceLog
+	l.Record(TraceSnapshot{}) // must not panic
+}

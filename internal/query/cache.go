@@ -29,6 +29,10 @@ type CacheStats struct {
 	// Misses counts candidate lookups that needed scoring (including
 	// lookups that waited on another goroutine's in-flight scoring).
 	Misses uint64 `json:"misses"`
+	// Waits counts the subset of misses that blocked on another
+	// goroutine's in-flight computation instead of scoring themselves
+	// (the singleflight collapse of a thundering herd).
+	Waits uint64 `json:"waits"`
 	// Entries is the number of memoized scores in the live generation.
 	Entries int `json:"entries"`
 	// Generation increments on every invalidation (SetProfile or
@@ -69,6 +73,7 @@ type scoreCache struct {
 	inflight map[cacheKey]*inflightSlot
 	hits     uint64
 	misses   uint64
+	waits    uint64
 }
 
 func newScoreCache() *scoreCache {
@@ -118,6 +123,7 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{
 		Hits:       sc.hits,
 		Misses:     sc.misses,
+		Waits:      sc.waits,
 		Entries:    len(sc.entries),
 		Generation: sc.gen,
 		Enabled:    !sc.disabled,
@@ -153,6 +159,7 @@ func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, me
 		}
 		sc.misses++
 		if sl, ok := sc.inflight[k]; ok {
+			sc.waits++
 			slots[i] = sl
 			waiting = append(waiting, i)
 			continue
@@ -166,6 +173,8 @@ func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, me
 
 	profile := e.Profile()
 	runParallel(e.Workers(), len(owned), func(j int) {
+		e.inflightScores.Add(1)
+		defer e.inflightScores.Add(-1)
 		i := owned[j]
 		in := scoreOne(c, e.frame, profile, cands[i], approx, metric)
 		out[i] = in

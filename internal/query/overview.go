@@ -1,10 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"foresight/internal/core"
+	"foresight/internal/obs"
 )
 
 // Overview is the paper's optional per-class "global view of insight
@@ -34,6 +37,13 @@ type Overview struct {
 // have no overview (the paper makes overviews optional); an error is
 // returned. metric "" selects the class default.
 func (e *Engine) Overview(className, metric string, approx bool) (*Overview, error) {
+	return e.OverviewContext(context.Background(), className, metric, approx)
+}
+
+// OverviewContext is Overview with a context; a trace on ctx records
+// candidate-enumeration, scoring, and matrix-assembly spans.
+func (e *Engine) OverviewContext(ctx context.Context, className, metric string, approx bool) (*Overview, error) {
+	defer e.observeOp("overview", time.Now())
 	c, ok := e.registry.Lookup(className)
 	if !ok {
 		return nil, fmt.Errorf("query: unknown insight class %q", className)
@@ -57,8 +67,14 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 	// same path Execute uses), so SetWorkers parallelizes heat maps
 	// and repeated overviews hit the cache. Slots with an empty Class
 	// mark tuples whose scoring errored.
+	tr := obs.TraceFrom(ctx)
+	endEnum := tr.StartSpan("enumerate:" + className)
 	cands := c.Candidates(e.frame)
+	endEnum()
+	endScore := tr.StartSpan("score:" + className)
 	scored := e.scoreCandidates(c, cands, approx, resolvedMetric)
+	endScore()
+	defer tr.StartSpan("assemble:" + className)()
 
 	switch c.Arity() {
 	case 1:

@@ -97,6 +97,8 @@ func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, approx 
 	out := make([]core.Insight, len(cands))
 	profile := e.Profile()
 	runParallel(e.Workers(), len(cands), func(i int) {
+		e.inflightScores.Add(1)
+		defer e.inflightScores.Add(-1)
 		out[i] = scoreOne(c, e.frame, profile, cands[i], approx, metric)
 	})
 	return out

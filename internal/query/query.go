@@ -8,12 +8,16 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"foresight/internal/core"
 	"foresight/internal/frame"
+	"foresight/internal/obs"
 	"foresight/internal/sketch"
 )
 
@@ -75,6 +79,12 @@ type Engine struct {
 	workers int
 	// cache memoizes per-candidate scores across queries (cache.go).
 	cache *scoreCache
+	// metrics holds the registered collectors after Instrument
+	// (metrics.go); nil means uninstrumented.
+	metrics atomic.Pointer[engineMetrics]
+	// inflightScores counts candidate-scoring tasks currently running,
+	// exported as the worker-pool saturation gauge.
+	inflightScores atomic.Int64
 }
 
 // NewEngine returns an engine over f using the registry's insight
@@ -116,17 +126,32 @@ func (e *Engine) SetProfile(p *sketch.DatasetProfile) {
 // Execute runs the query and returns one Result per class, in
 // registry order, omitting classes with no surviving insights.
 func (e *Engine) Execute(q Query) ([]Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with a context. A trace attached to ctx
+// (obs.WithTrace) records named spans for each phase — parse,
+// per-class candidate enumeration, scoring, and ranking — so slow
+// queries show where their time went; without a trace the spans cost
+// one nil check each.
+func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) {
+	defer e.observeOp("execute", time.Now())
+	tr := obs.TraceFrom(ctx)
+	endParse := tr.StartSpan("parse")
 	classes, explicit, err := e.resolveClasses(q.Classes)
 	if err != nil {
+		endParse()
 		return nil, err
 	}
 	if q.Approx && e.Profile() == nil {
+		endParse()
 		return nil, fmt.Errorf("query: approximate query requires a preprocessed profile")
 	}
 	maxScore := q.MaxScore
 	if maxScore <= 0 {
 		maxScore = math.Inf(1)
 	}
+	endParse()
 	var out []Result
 	for _, c := range classes {
 		metric := q.Metric
@@ -136,7 +161,7 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 			}
 			continue
 		}
-		ins := e.scoreClass(c, q, metric, maxScore)
+		ins := e.scoreClass(tr, c, q, metric, maxScore)
 		if len(ins) == 0 {
 			continue
 		}
@@ -149,11 +174,12 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 	return out, nil
 }
 
-func (e *Engine) scoreClass(c core.Class, q Query, metric string, maxScore float64) []core.Insight {
+func (e *Engine) scoreClass(tr *obs.Trace, c core.Class, q Query, metric string, maxScore float64) []core.Insight {
 	// Filter candidates by the structural constraints first, then
 	// score (memoized, possibly in parallel), then filter by strength
 	// and rank. The memo keys on the resolved metric so explicit
 	// default-metric queries and "" share entries.
+	endEnum := tr.StartSpan("enumerate:" + c.Name())
 	var cands [][]string
 	for _, attrs := range c.Candidates(e.frame) {
 		if !containsAll(attrs, q.Fixed) {
@@ -168,7 +194,11 @@ func (e *Engine) scoreClass(c core.Class, q Query, metric string, maxScore float
 	if resolved == "" {
 		resolved = c.Metrics()[0]
 	}
+	endEnum()
+	endScore := tr.StartSpan("score:" + c.Name())
 	scored := e.scoreCandidates(c, cands, q.Approx, resolved)
+	endScore()
+	defer tr.StartSpan("rank:" + c.Name())()
 	ins := make([]core.Insight, 0, len(scored))
 	for _, in := range scored {
 		if math.IsNaN(in.Score) {
@@ -238,4 +268,9 @@ func anySemantic(f *frame.Frame, attrs []string, want frame.SemanticType) bool {
 // registered class, keyed by class name in registry order.
 func (e *Engine) Carousels(k int, approx bool) ([]Result, error) {
 	return e.Execute(Query{K: k, Approx: approx})
+}
+
+// CarouselsContext is Carousels with a context for tracing.
+func (e *Engine) CarouselsContext(ctx context.Context, k int, approx bool) ([]Result, error) {
+	return e.ExecuteContext(ctx, Query{K: k, Approx: approx})
 }

@@ -1,12 +1,15 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"foresight/internal/core"
+	"foresight/internal/obs"
 )
 
 // Similarity returns a [0,1] similarity between two insights,
@@ -60,10 +63,18 @@ func jaccard(a, b []string) float64 {
 // the given classes (empty = all), excluding focus itself. This is
 // the second-level exploration of §2: "look at nearby insights".
 func (e *Engine) Neighborhood(focus core.Insight, classes []string, k int, approx bool) ([]core.Insight, error) {
-	res, err := e.Execute(Query{Classes: classes, Approx: approx})
+	return e.NeighborhoodContext(context.Background(), focus, classes, k, approx)
+}
+
+// NeighborhoodContext is Neighborhood with a context; a trace on ctx
+// records the underlying query's spans plus a similarity-ranking span.
+func (e *Engine) NeighborhoodContext(ctx context.Context, focus core.Insight, classes []string, k int, approx bool) ([]core.Insight, error) {
+	defer e.observeOp("neighborhood", time.Now())
+	res, err := e.ExecuteContext(ctx, Query{Classes: classes, Approx: approx})
 	if err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan(ctx, "similarity")()
 	type scored struct {
 		in  core.Insight
 		sim float64
@@ -179,10 +190,17 @@ func (s *Session) Recommendations() ([]Result, error) {
 // write lock may run any number of RecommendationsK calls under read
 // locks concurrently — the engine underneath is fully concurrent.
 func (s *Session) RecommendationsK(k int) ([]Result, error) {
-	res, err := s.engine.Execute(Query{Approx: s.Approx})
+	return s.RecommendationsKContext(context.Background(), k)
+}
+
+// RecommendationsKContext is RecommendationsK with a context; a trace
+// on ctx records the engine's spans plus the blend re-ranking span.
+func (s *Session) RecommendationsKContext(ctx context.Context, k int) ([]Result, error) {
+	res, err := s.engine.ExecuteContext(ctx, Query{Approx: s.Approx})
 	if err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan(ctx, "blend")()
 	blend := s.Blend
 	if blend <= 0 || blend > 1 {
 		blend = 0.5

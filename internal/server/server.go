@@ -2,20 +2,50 @@
 // 1): a JSON API over the query engine plus a self-contained HTML
 // page that renders insight carousels, supports focusing insights to
 // update recommendations, and shows per-class overview heat maps.
+//
+// The server is fully instrumented (internal/obs): every route
+// records per-route request counts, latency histograms and response
+// bytes; every request carries an X-Request-ID and a trace whose
+// spans (parse → enumerate → score → rank → render) land in a ring
+// buffer served at /api/debug/traces; /metrics exposes the whole
+// registry in Prometheus text format.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"foresight/internal/core"
+	"foresight/internal/obs"
 	"foresight/internal/query"
 	"foresight/internal/viz"
 )
+
+// Options configures the server's observability stack. The zero value
+// is fully functional: a private registry, a 64-trace ring buffer
+// keeping every trace, and no request logging.
+type Options struct {
+	// Registry receives the server's and engine's metrics; nil creates
+	// a private registry (still served at /metrics).
+	Registry *obs.Registry
+	// LogWriter receives one structured JSON line per request; nil
+	// disables request logging.
+	LogWriter io.Writer
+	// TraceCapacity bounds the /api/debug/traces ring buffer (0 → 64).
+	TraceCapacity int
+	// SlowTraceThreshold keeps only traces at least this long (0 keeps
+	// every trace).
+	SlowTraceThreshold time.Duration
+	// Version is reported by /api/stats ("" → "dev").
+	Version string
+}
 
 // Server wires one dataset, one engine and one exploration session
 // into an http.Handler. A demo server holds a single shared session,
@@ -31,37 +61,112 @@ type Server struct {
 	session *query.Session
 	mu      sync.RWMutex
 	mux     *http.ServeMux
+
+	registry *obs.Registry
+	httpObs  *obs.HTTP
+	traces   *obs.TraceLog
+	start    time.Time
+	version  string
 }
 
-// New returns a Server over the engine with carousel length k.
-func New(engine *query.Engine, k int, approx bool) *Server {
-	s := &Server{
-		engine:  engine,
-		session: query.NewSession(engine, k, approx),
-		mux:     http.NewServeMux(),
+// New returns a Server over the engine with carousel length k. An
+// optional Options value configures the observability stack; the
+// engine is instrumented into the server's registry either way.
+func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/api/dataset", s.handleDataset)
-	s.mux.HandleFunc("/api/classes", s.handleClasses)
-	s.mux.HandleFunc("/api/carousels", s.handleCarousels)
-	s.mux.HandleFunc("/api/query", s.handleQuery)
-	s.mux.HandleFunc("/api/overview", s.handleOverview)
-	s.mux.HandleFunc("/api/render", s.handleRender)
-	s.mux.HandleFunc("/api/neighborhood", s.handleNeighborhood)
-	s.mux.HandleFunc("/api/focus", s.handleFocus)
-	s.mux.HandleFunc("/api/unfocus", s.handleUnfocus)
-	s.mux.HandleFunc("/api/state", s.handleState)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	version := o.Version
+	if version == "" {
+		version = "dev"
+	}
+	s := &Server{
+		engine:   engine,
+		session:  query.NewSession(engine, k, approx),
+		mux:      http.NewServeMux(),
+		registry: reg,
+		traces:   obs.NewTraceLog(o.TraceCapacity, o.SlowTraceThreshold),
+		start:    time.Now(),
+		version:  version,
+	}
+	engine.Instrument(reg)
+	reg.GaugeFunc("foresight_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	s.httpObs = &obs.HTTP{
+		Metrics: obs.NewHTTPMetrics(reg, "foresight_http"),
+		Log:     obs.NewLogger(o.LogWriter),
+		Traces:  s.traces,
+	}
+
+	s.handle("/", s.handleIndex, http.MethodGet)
+	s.handle("/api/dataset", s.handleDataset, http.MethodGet)
+	s.handle("/api/classes", s.handleClasses, http.MethodGet)
+	s.handle("/api/carousels", s.handleCarousels, http.MethodGet)
+	s.handle("/api/query", s.handleQuery, http.MethodGet)
+	s.handle("/api/overview", s.handleOverview, http.MethodGet)
+	s.handle("/api/render", s.handleRender, http.MethodGet)
+	s.handle("/api/neighborhood", s.handleNeighborhood, http.MethodGet)
+	s.handle("/api/focus", s.handleFocus, http.MethodPost)
+	s.handle("/api/unfocus", s.handleUnfocus, http.MethodPost)
+	s.handle("/api/state", s.handleState, http.MethodGet, http.MethodPost)
+	s.handle("/api/stats", s.handleStats, http.MethodGet)
+	s.handle("/api/debug/traces", s.handleDebugTraces, http.MethodGet)
+	s.mux.Handle("/metrics", s.httpObs.Wrap("/metrics", reg.Handler()))
 	return s
+}
+
+// handle registers an instrumented handler for pattern: the
+// middleware assigns the request ID, trace, per-route metrics and log
+// line; the guard rejects methods outside allowed with a consistent
+// 405 JSON error naming the allowed set.
+func (s *Server) handle(pattern string, h http.HandlerFunc, allowed ...string) {
+	guarded := h
+	if len(allowed) > 0 {
+		guarded = func(w http.ResponseWriter, r *http.Request) {
+			for _, m := range allowed {
+				if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
+					h(w, r)
+					return
+				}
+			}
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			s.jsonError(w, r, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed (allow: %s)", r.Method, strings.Join(allowed, ", ")))
+		}
+	}
+	s.mux.Handle(pattern, s.httpObs.Wrap(pattern, guarded))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func (s *Server) jsonError(w http.ResponseWriter, code int, err error) {
+// Registry returns the server's metrics registry (for mounting
+// /metrics on a separate debug listener).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// jsonError writes a JSON error body carrying the request ID so the
+// response correlates with log lines and traces.
+func (s *Server) jsonError(w http.ResponseWriter, r *http.Request, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := obs.RequestIDFrom(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
@@ -136,11 +241,11 @@ func (s *Server) handleCarousels(w http.ResponseWriter, r *http.Request) {
 	// carousel requests rank concurrently (scores come from the
 	// engine's memo after the first request).
 	s.mu.RLock()
-	res, err := s.session.RecommendationsK(k)
+	res, err := s.session.RecommendationsKContext(r.Context(), k)
 	focus := append([]core.Insight(nil), s.session.Focus...)
 	s.mu.RUnlock()
 	if err != nil {
-		s.jsonError(w, http.StatusInternalServerError, err)
+		s.jsonError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.writeJSON(w, map[string]interface{}{"carousels": res, "focus": focus})
@@ -160,9 +265,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if fix := r.URL.Query().Get("fix"); fix != "" {
 		q.Fixed = strings.Split(fix, ",")
 	}
-	res, err := s.engine.Execute(q)
+	res, err := s.engine.ExecuteContext(r.Context(), q)
 	if err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, map[string]interface{}{"results": res})
@@ -173,12 +278,13 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 	if class == "" {
 		class = "linear"
 	}
-	ov, err := s.engine.Overview(class, r.URL.Query().Get("metric"), boolParam(r, "approx"))
+	ov, err := s.engine.OverviewContext(r.Context(), class, r.URL.Query().Get("metric"), boolParam(r, "approx"))
 	if err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "svg" {
+		defer obs.StartSpan(r.Context(), "render")()
 		w.Header().Set("Content-Type", "image/svg+xml")
 		title := fmt.Sprintf("%s overview (%s)", ov.Class, ov.Metric)
 		if len(ov.RowAttrs) == 1 && len(ov.Values) == 1 {
@@ -196,42 +302,50 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	class := r.URL.Query().Get("class")
 	attrs := r.URL.Query().Get("attrs")
 	if class == "" || attrs == "" {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("render needs class and attrs"))
+		s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("render needs class and attrs"))
 		return
 	}
 	c, ok := s.engine.Registry().Lookup(class)
 	if !ok {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
+		s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
 		return
 	}
 	var svg string
+	endScore := obs.StartSpan(r.Context(), "score:"+class)
 	if boolParam(r, "approx") {
 		// Sketch-only panel: both the score and the pixels come from
 		// the preprocessed store.
 		p := s.engine.Profile()
 		if p == nil {
-			s.jsonError(w, http.StatusBadRequest, fmt.Errorf("approx render requires a preprocessed profile"))
+			endScore()
+			s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("approx render requires a preprocessed profile"))
 			return
 		}
 		in, err := c.ScoreApprox(p, strings.Split(attrs, ","), r.URL.Query().Get("metric"))
+		endScore()
 		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, r, http.StatusBadRequest, err)
 			return
 		}
+		endRender := obs.StartSpan(r.Context(), "render")
 		svg, err = viz.RenderSVGFromProfile(p, in)
+		endRender()
 		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, r, http.StatusBadRequest, err)
 			return
 		}
 	} else {
 		in, err := c.Score(s.engine.Frame(), strings.Split(attrs, ","), r.URL.Query().Get("metric"))
+		endScore()
 		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, r, http.StatusBadRequest, err)
 			return
 		}
+		endRender := obs.StartSpan(r.Context(), "render")
 		svg, err = viz.RenderSVG(s.engine.Frame(), in)
+		endRender()
 		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, r, http.StatusBadRequest, err)
 			return
 		}
 	}
@@ -246,26 +360,26 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 	class := r.URL.Query().Get("class")
 	attrs := r.URL.Query().Get("attrs")
 	if class == "" || attrs == "" {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("neighborhood needs class and attrs"))
+		s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("neighborhood needs class and attrs"))
 		return
 	}
 	c, ok := s.engine.Registry().Lookup(class)
 	if !ok {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
+		s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("unknown class %q", class))
 		return
 	}
 	focus, err := c.Score(s.engine.Frame(), strings.Split(attrs, ","), r.URL.Query().Get("metric"))
 	if err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var within []string
 	if scope := r.URL.Query().Get("within"); scope != "" {
 		within = strings.Split(scope, ",")
 	}
-	nbrs, err := s.engine.Neighborhood(focus, within, intParam(r, "k", 10), boolParam(r, "approx"))
+	nbrs, err := s.engine.NeighborhoodContext(r.Context(), focus, within, intParam(r, "k", 10), boolParam(r, "approx"))
 	if err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, map[string]interface{}{"focus": focus, "neighbors": nbrs})
@@ -279,23 +393,19 @@ type focusRequest struct {
 }
 
 func (s *Server) handleFocus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	var req focusRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	c, ok := s.engine.Registry().Lookup(req.Class)
 	if !ok {
-		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("unknown class %q", req.Class))
+		s.jsonError(w, r, http.StatusBadRequest, fmt.Errorf("unknown class %q", req.Class))
 		return
 	}
 	in, err := c.Score(s.engine.Frame(), req.Attrs, req.Metric)
 	if err != nil {
-		s.jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
@@ -306,10 +416,6 @@ func (s *Server) handleFocus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnfocus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
 	key := r.URL.Query().Get("key")
 	s.mu.Lock()
 	removed := s.session.Unfocus(key)
@@ -322,42 +428,85 @@ func (s *Server) handleUnfocus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]interface{}{"removed": removed, "focus_count": n})
 }
 
-// handleStats reports the engine's scoring-cache counters and
-// concurrency configuration, for observing hit ratios and sizing the
-// worker pool under load.
+// handleStats reports a JSON view over the same state /metrics
+// exposes: cache counters, concurrency configuration, uptime, Go
+// runtime stats, build info, and request totals.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	focusCount := len(s.session.Focus)
 	s.mu.RUnlock()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
 	s.writeJSON(w, map[string]interface{}{
 		"cache":       s.engine.CacheStats(),
 		"workers":     s.engine.Workers(),
 		"dataset":     s.engine.Frame().Name(),
 		"focus_count": focusCount,
+		"uptime_s":    time.Since(s.start).Seconds(),
+		"runtime": map[string]interface{}{
+			"goroutines":     runtime.NumGoroutine(),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"heap_alloc":     m.HeapAlloc,
+			"heap_sys":       m.HeapSys,
+			"total_alloc":    m.TotalAlloc,
+			"num_gc":         m.NumGC,
+			"gc_pause_total": time.Duration(m.PauseTotalNs).String(),
+		},
+		"build": map[string]interface{}{
+			"version": s.version,
+			"go":      runtime.Version(),
+			"os_arch": runtime.GOOS + "/" + runtime.GOARCH,
+		},
+		"http": map[string]interface{}{
+			"requests_total":  s.httpObs.Metrics.Requests.Total(),
+			"traces_recorded": s.traces.Total(),
+		},
+	})
+}
+
+// handleDebugTraces serves the recent-trace ring buffer, most recent
+// first. min_ms filters to traces at least that slow; n bounds the
+// count.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	minMS := floatParam(r, "min_ms", 0)
+	limit := intParam(r, "n", 0)
+	all := s.traces.Snapshot()
+	out := make([]obs.TraceSnapshot, 0, len(all))
+	for _, t := range all {
+		if t.DurMS < minMS {
+			continue
+		}
+		out = append(out, t)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	s.writeJSON(w, map[string]interface{}{
+		"traces":         out,
+		"count":          len(out),
+		"total_recorded": s.traces.Total(),
 	})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
-	case http.MethodGet:
+	case http.MethodGet, http.MethodHead:
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		w.Header().Set("Content-Type", "application/json")
 		if err := s.session.Save(w); err != nil {
-			s.jsonError(w, http.StatusInternalServerError, err)
+			s.jsonError(w, r, http.StatusInternalServerError, err)
 		}
 	case http.MethodPost:
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		restored, err := query.LoadSession(r.Body, s.engine)
 		if err != nil {
-			s.jsonError(w, http.StatusBadRequest, err)
+			s.jsonError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		s.session = restored
 		s.writeJSON(w, map[string]interface{}{"restored": true, "focus_count": len(restored.Focus)})
-	default:
-		s.jsonError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST"))
 	}
 }
 

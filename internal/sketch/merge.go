@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"foresight/internal/frame"
 	"foresight/internal/stats"
@@ -24,6 +25,7 @@ func (p *DatasetProfile) Merge(other *DatasetProfile) error {
 	if other == nil {
 		return nil
 	}
+	defer observeSince("merge", time.Now())
 	if p.Config.K != other.Config.K || p.Config.Seed != other.Config.Seed {
 		return ErrShapeMismatch
 	}
@@ -233,6 +235,7 @@ func projectColumnsRange(cols [][]float64, means []float64, rows, start, end int
 // projections are not built in partitioned mode — ranks are a global
 // transform.
 func BuildProfilePartitioned(f *frame.Frame, cfg ProfileConfig, parts int) *DatasetProfile {
+	defer observeSince("build.partitioned", time.Now())
 	cfg.fill(f.Rows())
 	cfg.Spearman = false
 	if parts < 1 {

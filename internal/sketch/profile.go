@@ -3,6 +3,7 @@ package sketch
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"foresight/internal/frame"
 	"foresight/internal/stats"
@@ -127,6 +128,7 @@ type DatasetProfile struct {
 // blocked pass for the shared-direction projections. Deterministic
 // given (f, cfg).
 func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
+	defer observeSince("build", time.Now())
 	cfg.fill(f.Rows())
 	p := &DatasetProfile{
 		Rows:        f.Rows(),
@@ -140,6 +142,7 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 	cols := make([][]float64, len(numeric))
 	means := make([]float64, len(numeric))
 	profiles := make([]*NumericProfile, len(numeric))
+	numericStart := time.Now()
 	eachColumn(len(numeric), cfg.Workers, func(i int) {
 		nc := numeric[i]
 		np := &NumericProfile{
@@ -163,7 +166,9 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 	for i, nc := range numeric {
 		p.Numeric[nc.Name()] = profiles[i]
 	}
+	observeSince("build.numeric", numericStart)
 
+	projStart := time.Now()
 	projCfg := ProjectConfig{K: cfg.K, Seed: cfg.Seed + 101, Workers: cfg.Workers}
 	projections := ProjectColumns(cols, means, f.Rows(), projCfg)
 	for i, nc := range numeric {
@@ -171,8 +176,10 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 		np.Proj = projections[i]
 		np.Planes = HyperplaneFromProjection(projections[i])
 	}
+	observeSince("build.project", projStart)
 
 	if cfg.Spearman && len(numeric) > 0 {
+		spearmanStart := time.Now()
 		rankCols := make([][]float64, len(numeric))
 		rankMeans := make([]float64, len(numeric))
 		eachColumn(len(numeric), cfg.Workers, func(i int) {
@@ -187,8 +194,10 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 			np.RankProj = rankProj[i]
 			np.RankPlanes = HyperplaneFromProjection(rankProj[i])
 		}
+		observeSince("build.spearman", spearmanStart)
 	}
 
+	catStart := time.Now()
 	for _, cc := range f.CategoricalColumns() {
 		cp := &CategoricalProfile{
 			Name:     cc.Name(),
@@ -210,6 +219,7 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 		cp.Dict = cc.Dict()
 		p.Categorical[cc.Name()] = cp
 	}
+	observeSince("build.categorical", catStart)
 	return p
 }
 
