@@ -3,9 +3,9 @@
 // preprocessing speedup, E5 interactive latency, E6 all-pairs
 // complexity), the §4.1 usage scenario (E7), the §4.2 demo datasets
 // (E8), the memoized-cache serving experiment (E9), the
-// observability-overhead guardrail (E10), and the sketch-parameter
-// ablations. Results print to stdout and, with -out, land as TSV/SVG
-// artifacts.
+// observability-overhead guardrail (E10), the request-cancellation
+// experiment (E11), and the sketch-parameter ablations. Results print
+// to stdout and, with -out, land as TSV/SVG artifacts.
 //
 // Usage:
 //
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,ablations")
+	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,ablations")
 	out := flag.String("out", "", "directory for TSV/SVG artifacts (empty = stdout only)")
 	full := flag.Bool("full", false, "paper-scale sizes (n=100K, d up to 200; slower)")
 	seed := flag.Int64("seed", 42, "experiment seed")
@@ -108,6 +108,13 @@ func main() {
 			rows10, dims10 = 100000, 64
 		}
 		return bench.RunE10ObsOverhead(w, *out, bench.E10Config{Rows: rows10, Dims: dims10, Seed: *seed})
+	})
+	run("e11", func() error {
+		rows11, dims11 := 20000, 32
+		if *full {
+			rows11, dims11 = 100000, 64
+		}
+		return bench.RunE11Cancellation(w, *out, bench.E11Config{Rows: rows11, Dims: dims11, Seed: *seed})
 	})
 	run("ablations", func() error { return bench.RunAllAblations(w, *out, *seed) })
 

@@ -18,11 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"foresight"
 	"foresight/internal/server"
@@ -328,6 +333,8 @@ func runServe(args []string) error {
 	cache := fs.Bool("cache", true, "memoize insight scores across queries")
 	profilePath := fs.String("profile", "", "load a saved sketch store (implies -approx)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
+	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request API deadline (0 = none)")
+	maxInflight := fs.Int("max-inflight", 256, "max concurrently served API requests (0 = unlimited)")
 	_ = fs.Parse(args)
 	if *profilePath != "" {
 		*approx = true
@@ -342,10 +349,46 @@ func runServe(args []string) error {
 	}
 	engine.SetWorkers(*workers)
 	engine.SetCacheEnabled(*cache)
-	srv := server.New(engine, *k, *approx, server.Options{LogWriter: os.Stderr})
+	srv := server.New(engine, *k, *approx, server.Options{
+		LogWriter:      os.Stderr,
+		RequestTimeout: *requestTimeout,
+		MaxInflight:    *maxInflight,
+	})
 	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats)\n",
 		f.Summary(), *addr, engine.Workers(), *cache)
-	return http.ListenAndServe(*addr, srv)
+
+	// Same lifecycle discipline as cmd/foresightd: listener timeouts
+	// against stalled clients, SIGINT/SIGTERM drains in-flight
+	// requests before exiting.
+	writeTimeout := 30 * time.Second
+	if *requestTimeout > 0 && *requestTimeout+10*time.Second > writeTimeout {
+		writeTimeout = *requestTimeout + 10*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("foresight: signal received, draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutdownCtx)
 }
 
 func runDemo(args []string) error {

@@ -14,16 +14,27 @@
 // /api/stats. With -debug-addr a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (kept off the main port so
 // profiling endpoints are never exposed to UI traffic).
+//
+// The process is lifecycle-safe: every API request runs under
+// -request-timeout (504 on expiry, with the engine's workers actually
+// released), -max-inflight sheds excess load with 503, the listener
+// carries read/write/idle timeouts so slow clients cannot pin
+// connections forever, and SIGINT/SIGTERM drain in-flight requests
+// (up to -shutdown-grace) before the process exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"foresight"
@@ -47,6 +58,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
 	slowMS := flag.Int("slow-ms", 0, "only record request traces at least this slow (0 = record all)")
 	quiet := flag.Bool("quiet", false, "suppress per-request JSON logs on stderr")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline for API requests; expired requests get 504 and release their workers (0 = no deadline)")
+	maxInflight := flag.Int("max-inflight", 256, "maximum concurrently served API requests; excess requests are shed with 503 (0 = unlimited)")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -80,6 +94,8 @@ func main() {
 		LogWriter:          os.Stderr,
 		SlowTraceThreshold: time.Duration(*slowMS) * time.Millisecond,
 		Version:            version,
+		RequestTimeout:     *requestTimeout,
+		MaxInflight:        *maxInflight,
 	}
 	if *quiet {
 		opts.LogWriter = nil
@@ -89,15 +105,69 @@ func main() {
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, reg)
 	}
-	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats, /api/debug/traces)",
-		version, f.Summary(), *addr, engine.Workers(), *cache)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// The listener's own timeouts guard against slow or stalled
+	// clients: ReadHeaderTimeout bounds header trickling, WriteTimeout
+	// caps the whole response (kept above the request deadline so the
+	// engine's 504 path always wins the race), IdleTimeout reaps
+	// keep-alive connections.
+	writeTimeout := 30 * time.Second
+	if *requestTimeout > 0 && *requestTimeout+10*time.Second > writeTimeout {
+		writeTimeout = *requestTimeout + 10*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v timeout=%v max-inflight=%d; /metrics, /api/stats, /api/debug/traces)",
+		version, f.Summary(), *addr, engine.Workers(), *cache, *requestTimeout, *maxInflight)
+	if err := runUntilSignalled(httpSrv, *shutdownGrace); err != nil {
+		log.Fatalf("foresightd: %v", err)
+	}
+	log.Printf("foresightd: shut down cleanly")
+}
+
+// runUntilSignalled serves on srv until SIGINT/SIGTERM, then drains
+// in-flight requests via Shutdown for up to grace before returning.
+// A listener error (port taken, etc.) is returned immediately; a
+// drain that outlives the grace period returns the shutdown error so
+// the exit status reflects the forced stop.
+func runUntilSignalled(srv *http.Server, grace time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen on %s: %w", srv.Addr, err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+	log.Printf("foresightd: signal received, draining in-flight requests (grace %v)...", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
 }
 
 // serveDebug runs the pprof + metrics sidecar listener. pprof's
 // handlers are registered explicitly rather than via the package's
 // DefaultServeMux side effect, so importing net/http/pprof never
-// leaks profiling routes onto the main server.
+// leaks profiling routes onto the main server. A sidecar listen
+// failure (port already taken) is logged and absorbed — the main
+// server keeps serving; profiling is an accessory, not a dependency.
 func serveDebug(addr string, reg *obs.Registry) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -107,7 +177,10 @@ func serveDebug(addr string, reg *obs.Registry) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", reg.Handler())
 	log.Printf("foresightd: debug listener on http://localhost%s (pprof at /debug/pprof/)", addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("foresightd: debug listener on %s failed: %v (continuing without pprof sidecar)", addr, err)
+	}
 }
 
 func loadData(path string, seed int64) (*foresight.Frame, error) {

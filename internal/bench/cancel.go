@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/query"
+)
+
+// E11Config sizes the cancellation experiment.
+type E11Config struct {
+	Rows, Dims int
+	// Clients is the number of concurrent requests that get abandoned.
+	Clients int
+	Seed    int64
+}
+
+// RunE11Cancellation demonstrates that abandoned requests release
+// their workers instead of completing dead work. It launches N
+// concurrent cold carousel requests, cancels them all a fraction of
+// the way into scoring, and then verifies the three properties the
+// serving path promises (DESIGN.md §6e): every request returns
+// promptly with the context error, the scoring-inflight gauge drains
+// back to zero (no orphaned workers grinding for a disconnected
+// client), and the engine's cancellation counter accounts for every
+// abandoned request. The partially filled memo is reported too —
+// cancelled work that did complete stays cached, so a retry resumes
+// warm rather than from zero.
+func RunE11Cancellation(w io.Writer, outDir string, cfg E11Config) error {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 20000
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = 32
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	f := datagen.Scalable(datagen.ScalableConfig{
+		Rows: cfg.Rows, NumericCols: cfg.Dims, CatCols: 3, Seed: cfg.Seed,
+	})
+	engine, err := query.NewEngine(f, core.NewRegistry(), nil)
+	if err != nil {
+		return err
+	}
+	engine.SetWorkers(runtime.GOMAXPROCS(0))
+
+	// Reference run: one uncancelled cold pass, for the full cost and
+	// the full memo size.
+	fullTime := timeIt(func() {
+		_, err = engine.Carousels(5, false)
+	})
+	if err != nil {
+		return err
+	}
+	fullEntries := engine.CacheStats().Entries
+	engine.InvalidateCache()
+
+	// Abandoned run: N concurrent cold requests, cancelled partway in.
+	lead := fullTime / 10
+	if lead < 5*time.Millisecond {
+		lead = 5 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	ctxErrs := make([]error, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, ctxErrs[i] = engine.CarouselsContext(ctx, 5, false)
+		}(i)
+	}
+	time.Sleep(lead)
+	tCancel := time.Now()
+	cancel()
+	wg.Wait()
+	returned := time.Since(tCancel)
+	// The last dispatched candidates may still be finishing on worker
+	// goroutines that outlive the requests; the gauge must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for engine.ScoringInflight() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	drained := time.Since(tCancel)
+	inflight := engine.ScoringInflight()
+	cancelled := engine.Cancellations()
+	partialEntries := engine.CacheStats().Entries
+
+	earlyReturns := 0
+	for _, e := range ctxErrs {
+		if e == context.Canceled {
+			earlyReturns++
+		}
+	}
+
+	t := NewTable(fmt.Sprintf("E11: %d abandoned requests release their workers (n=%d, d=%d, workers=%d)",
+		cfg.Clients, cfg.Rows, cfg.Dims+3, engine.Workers()),
+		"measure", "value")
+	t.AddRow("full cold carousel pass", fullTime)
+	t.AddRow("cancel issued after", lead)
+	t.AddRow("all requests returned within", returned)
+	t.AddRow("scoring-inflight gauge drained within", drained)
+	t.AddRow("scoring-inflight after drain", inflight)
+	t.AddRow("requests returning ctx.Canceled", fmt.Sprintf("%d/%d", earlyReturns, cfg.Clients))
+	t.AddRow("engine cancellations counted", cancelled)
+	t.AddRow("memo entries (partial/full)", fmt.Sprintf("%d/%d", partialEntries, fullEntries))
+	t.Print(w)
+
+	ok := true
+	if inflight != 0 {
+		ok = false
+		fmt.Fprintf(w, "WARNING: scoring-inflight gauge stuck at %d after cancellation.\n", inflight)
+	}
+	if earlyReturns != cfg.Clients {
+		ok = false
+		fmt.Fprintf(w, "WARNING: only %d/%d requests returned context.Canceled.\n", earlyReturns, cfg.Clients)
+	}
+	if cancelled < uint64(cfg.Clients) {
+		ok = false
+		fmt.Fprintf(w, "WARNING: cancellation counter %d below client count %d.\n", cancelled, cfg.Clients)
+	}
+	if ok {
+		fmt.Fprintf(w, "abandoned work released: every request returned ctx.Err(), the worker pool drained, and %d/%d scores from the cut-short pass stay cached for the retry.\n",
+			partialEntries, fullEntries)
+	}
+	return t.WriteTSV(outDir, "e11_cancel")
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"sync"
 
@@ -20,6 +21,16 @@ import (
 // computes each score exactly once. Filters (MinScore/MaxScore, Fixed,
 // Semantic) and ranking always apply after the memo lookup, so results
 // are bit-identical with the cache on or off.
+//
+// Cancellation threads through the singleflight protocol: a waiter
+// blocks on the owner's done channel AND its own ctx, so an expired
+// deadline or a disconnected client returns promptly even while the
+// owner is still scoring. An owner that bails out (its ctx fired, or
+// its scorer panicked) marks its unfinished slots abandoned and wakes
+// every waiter; waiters score abandoned candidates themselves instead
+// of inheriting work nobody finished. Scores completed before a
+// cancellation are published to the memo as usual, so an abandoned
+// request's partial work still warms the cache for the retry.
 
 // CacheStats is a point-in-time snapshot of the engine's scoring
 // cache, exposed via Engine.CacheStats and the server's /api/stats.
@@ -56,10 +67,15 @@ func keyFor(class, metric string, approx bool, attrs []string) cacheKey {
 }
 
 // inflightSlot is one in-flight scoring computation. The owner stores
-// the result and closes done; waiters block on done and read in.
+// the result and closes done; waiters block on done (or their own
+// ctx) and read in. abandoned is set (before close) when the owner
+// gave up without scoring — waiters then score the candidate
+// themselves. Both fields are published by the channel close, so
+// waiters read them without a lock.
 type inflightSlot struct {
-	done chan struct{}
-	in   core.Insight
+	done      chan struct{}
+	in        core.Insight
+	abandoned bool
 }
 
 // scoreCache is the concurrent, generation-stamped memo plus the
@@ -136,12 +152,19 @@ func (e *Engine) CacheStats() CacheStats {
 // memo when possible; misses are scored with the engine's worker pool
 // and published, and concurrent duplicate scoring of the same key is
 // collapsed by waiting on the in-flight owner instead of recomputing.
-func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, metric string) []core.Insight {
+//
+// The context bounds the whole batch: scoring stops dispatching and
+// singleflight waits unblock as soon as ctx is done, returning
+// ctx.Err(). Whatever was scored before the cutoff is already in the
+// memo. A panicking scorer abandons this call's unfinished slots
+// (waking cross-request waiters) before the panic propagates to the
+// caller.
+func (e *Engine) scoreCandidates(ctx context.Context, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
 	sc := e.cache
 	sc.mu.Lock()
 	if sc.disabled {
 		sc.mu.Unlock()
-		return e.scoreCandidatesParallel(c, cands, approx, metric)
+		return e.scoreCandidatesParallel(ctx, c, cands, approx, metric)
 	}
 	gen := sc.gen
 	class := c.Name()
@@ -171,8 +194,30 @@ func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, me
 	}
 	sc.mu.Unlock()
 
+	// Abandon any owned slot that never completed, whatever the exit
+	// path (ctx error, waiter-loop bailout, scorer panic): waiters are
+	// woken with abandoned set so the work is retried by whoever still
+	// wants it, never inherited as a hang. Runs after the pool has
+	// quiesced, so no owner can race the close.
+	defer func() {
+		for _, i := range owned {
+			sl := slots[i]
+			select {
+			case <-sl.done:
+			default:
+				sc.mu.Lock()
+				if sc.gen == gen && sc.inflight[keys[i]] == sl {
+					delete(sc.inflight, keys[i])
+				}
+				sc.mu.Unlock()
+				sl.abandoned = true
+				close(sl.done)
+			}
+		}
+	}()
+
 	profile := e.Profile()
-	runParallel(e.Workers(), len(owned), func(j int) {
+	err := runParallel(ctx, e.Workers(), len(owned), func(j int) {
 		e.inflightScores.Add(1)
 		defer e.inflightScores.Add(-1)
 		i := owned[j]
@@ -191,9 +236,34 @@ func (e *Engine) scoreCandidates(c core.Class, cands [][]string, approx bool, me
 		}
 		sc.mu.Unlock()
 	})
-	for _, i := range waiting {
-		<-slots[i].done
-		out[i] = slots[i].in
+	if err != nil {
+		return nil, err
 	}
-	return out
+	for _, i := range waiting {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-slots[i].done:
+		}
+		sl := slots[i]
+		if !sl.abandoned {
+			out[i] = sl.in
+			continue
+		}
+		// The owner gave up before scoring this key (cancelled or
+		// panicked); score it here rather than trusting anyone else to.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.inflightScores.Add(1)
+		in := scoreOne(c, e.frame, profile, cands[i], approx, metric)
+		e.inflightScores.Add(-1)
+		out[i] = in
+		sc.mu.Lock()
+		if sc.gen == gen {
+			sc.entries[keys[i]] = in
+		}
+		sc.mu.Unlock()
+	}
+	return out, nil
 }

@@ -58,7 +58,10 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		func() float64 { return float64(e.Workers()) })
 	reg.GaugeFunc("foresight_scoring_inflight",
 		"Candidate-scoring tasks currently running in the worker pool.",
-		func() float64 { return float64(e.inflightScores.Load()) })
+		func() float64 { return float64(e.ScoringInflight()) })
+	reg.CounterFunc("foresight_engine_cancellations_total",
+		"Engine operations that returned early on a cancelled or expired context.",
+		func() uint64 { return e.Cancellations() })
 	e.metrics.Store(m)
 }
 

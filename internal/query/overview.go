@@ -42,8 +42,14 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 
 // OverviewContext is Overview with a context; a trace on ctx records
 // candidate-enumeration, scoring, and matrix-assembly spans.
+// Cancellation is honored between enumeration, scoring, and assembly:
+// once ctx is done the overview returns ctx.Err() promptly and the
+// engine's cancellation counter increments.
 func (e *Engine) OverviewContext(ctx context.Context, className, metric string, approx bool) (*Overview, error) {
 	defer e.observeOp("overview", time.Now())
+	if err := ctx.Err(); err != nil {
+		return nil, e.noteCancel(err)
+	}
 	c, ok := e.registry.Lookup(className)
 	if !ok {
 		return nil, fmt.Errorf("query: unknown insight class %q", className)
@@ -72,8 +78,14 @@ func (e *Engine) OverviewContext(ctx context.Context, className, metric string, 
 	cands := c.Candidates(e.frame)
 	endEnum()
 	endScore := tr.StartSpan("score:" + className)
-	scored := e.scoreCandidates(c, cands, approx, resolvedMetric)
+	scored, err := e.scoreCandidates(ctx, c, cands, approx, resolvedMetric)
 	endScore()
+	if err != nil {
+		return nil, e.noteCancel(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, e.noteCancel(err)
+	}
 	defer tr.StartSpan("assemble:" + className)()
 
 	switch c.Arity() {

@@ -1,9 +1,13 @@
 package query
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"foresight/internal/core"
 	"foresight/internal/frame"
@@ -20,6 +24,14 @@ import (
 // Overview both route their scoring loops through this pool (via the
 // memo in cache.go), so SetWorkers applies to carousels, ad-hoc
 // queries, and heat maps alike.
+//
+// The pool is also where cancellation and panic isolation live:
+// runParallel stops dispatching work the moment its context is done
+// (an abandoned request releases its workers instead of completing
+// dead work), and a panicking scorer is caught in the worker, the
+// pool drained, and the panic re-raised on the calling goroutine so
+// one request's crash never takes down unrelated goroutines or the
+// process (the HTTP layer converts it to a 500).
 
 // SetWorkers sets the engine's scoring parallelism: 1 (default)
 // scores sequentially, 0 selects GOMAXPROCS, n > 1 uses n goroutines.
@@ -45,32 +57,81 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
+// poolPanic carries a recovered worker panic (plus the worker's stack)
+// across the pool barrier so it can be re-raised on the caller.
+type poolPanic struct {
+	val   interface{}
+	stack []byte
+}
+
+// String renders the original panic value with the worker stack, so a
+// recovered pool panic still points at the scorer that crashed.
+func (p *poolPanic) String() string {
+	return fmt.Sprintf("%v\nworker stack:\n%s", p.val, p.stack)
+}
+
 // runParallel applies fn to every index in [0, n) using up to the
 // given number of worker goroutines. Small batches run sequentially:
 // below two indices per worker the pool costs more than it saves.
-func runParallel(workers, n int, fn func(int)) {
+//
+// Dispatch is context-aware: once ctx is done no further index is
+// started (indices already running finish — cancellation granularity
+// is one candidate), and the context error is returned so callers can
+// mark the batch partial. A panic in fn is recovered in the worker,
+// dispatch stops, remaining workers drain, and the panic is re-raised
+// on the calling goroutine once the pool has quiesced; the other
+// workers' completed slots stay valid.
+func runParallel(ctx context.Context, workers, n int, fn func(int)) error {
 	if workers <= 1 || n < 2*workers {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[poolPanic]
+		stop     = make(chan struct{}) // closed on first worker panic
+		stopOnce sync.Once
+		next     = make(chan int)
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &poolPanic{val: r, stack: debug.Stack()})
+							stopOnce.Do(func() { close(stop) })
+						}
+					}()
+					fn(i)
+				}(i)
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		case <-stop:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return ctx.Err()
 }
 
 // scoreOne scores a single candidate tuple, folding scoring errors
@@ -93,13 +154,18 @@ func scoreOne(c core.Class, f *frame.Frame, p *sketch.DatasetProfile, attrs []st
 
 // scoreCandidatesParallel scores every candidate tuple with the
 // engine's worker pool, bypassing the memo (one slot per candidate).
-func (e *Engine) scoreCandidatesParallel(c core.Class, cands [][]string, approx bool, metric string) []core.Insight {
+// On cancellation the unscored suffix is left as zero-value slots and
+// the context error is returned.
+func (e *Engine) scoreCandidatesParallel(ctx context.Context, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
 	out := make([]core.Insight, len(cands))
 	profile := e.Profile()
-	runParallel(e.Workers(), len(cands), func(i int) {
+	err := runParallel(ctx, e.Workers(), len(cands), func(i int) {
 		e.inflightScores.Add(1)
 		defer e.inflightScores.Add(-1)
 		out[i] = scoreOne(c, e.frame, profile, cands[i], approx, metric)
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

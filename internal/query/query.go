@@ -9,6 +9,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -85,6 +86,9 @@ type Engine struct {
 	// inflightScores counts candidate-scoring tasks currently running,
 	// exported as the worker-pool saturation gauge.
 	inflightScores atomic.Int64
+	// cancellations counts engine operations that returned early
+	// because their context was cancelled or its deadline expired.
+	cancellations atomic.Uint64
 }
 
 // NewEngine returns an engine over f using the registry's insight
@@ -102,6 +106,25 @@ func NewEngine(f *frame.Frame, reg *core.Registry, profile *sketch.DatasetProfil
 
 // Frame returns the engine's dataset.
 func (e *Engine) Frame() *frame.Frame { return e.frame }
+
+// ScoringInflight reports the number of candidate-scoring tasks
+// currently running in the worker pool — the gauge E11 watches drain
+// to zero after requests are abandoned.
+func (e *Engine) ScoringInflight() int64 { return e.inflightScores.Load() }
+
+// Cancellations reports how many engine operations returned early on
+// a cancelled or expired context.
+func (e *Engine) Cancellations() uint64 { return e.cancellations.Load() }
+
+// noteCancel counts err against the cancellation counter when it is a
+// context error, and returns it unchanged; every top-level engine
+// operation funnels its early exits through here exactly once.
+func (e *Engine) noteCancel(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		e.cancellations.Add(1)
+	}
+	return err
+}
 
 // Registry returns the engine's insight-class registry.
 func (e *Engine) Registry() *core.Registry { return e.registry }
@@ -134,8 +157,17 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 // per-class candidate enumeration, scoring, and ranking — so slow
 // queries show where their time went; without a trace the spans cost
 // one nil check each.
+//
+// Cancellation is honored between phases and inside scoring: once ctx
+// is done the engine stops enumerating and dispatching candidates and
+// returns ctx.Err() promptly (no partial Result is returned — scores
+// completed before the cutoff stay in the memo, so a retry resumes
+// warm). Early exits increment the engine's cancellation counter.
 func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) {
 	defer e.observeOp("execute", time.Now())
+	if err := ctx.Err(); err != nil {
+		return nil, e.noteCancel(err)
+	}
 	tr := obs.TraceFrom(ctx)
 	endParse := tr.StartSpan("parse")
 	classes, explicit, err := e.resolveClasses(q.Classes)
@@ -154,6 +186,9 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 	endParse()
 	var out []Result
 	for _, c := range classes {
+		if err := ctx.Err(); err != nil {
+			return nil, e.noteCancel(err)
+		}
 		metric := q.Metric
 		if metric != "" && !supportsMetric(c, metric) {
 			if explicit && len(classes) == 1 {
@@ -161,7 +196,10 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 			}
 			continue
 		}
-		ins := e.scoreClass(tr, c, q, metric, maxScore)
+		ins, err := e.scoreClass(ctx, tr, c, q, metric, maxScore)
+		if err != nil {
+			return nil, e.noteCancel(err)
+		}
 		if len(ins) == 0 {
 			continue
 		}
@@ -174,7 +212,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 	return out, nil
 }
 
-func (e *Engine) scoreClass(tr *obs.Trace, c core.Class, q Query, metric string, maxScore float64) []core.Insight {
+func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, c core.Class, q Query, metric string, maxScore float64) ([]core.Insight, error) {
 	// Filter candidates by the structural constraints first, then
 	// score (memoized, possibly in parallel), then filter by strength
 	// and rank. The memo keys on the resolved metric so explicit
@@ -195,9 +233,15 @@ func (e *Engine) scoreClass(tr *obs.Trace, c core.Class, q Query, metric string,
 		resolved = c.Metrics()[0]
 	}
 	endEnum()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	endScore := tr.StartSpan("score:" + c.Name())
-	scored := e.scoreCandidates(c, cands, q.Approx, resolved)
+	scored, err := e.scoreCandidates(ctx, c, cands, q.Approx, resolved)
 	endScore()
+	if err != nil {
+		return nil, err
+	}
 	defer tr.StartSpan("rank:" + c.Name())()
 	ins := make([]core.Insight, 0, len(scored))
 	for _, in := range scored {
@@ -209,7 +253,7 @@ func (e *Engine) scoreClass(tr *obs.Trace, c core.Class, q Query, metric string,
 		}
 		ins = append(ins, in)
 	}
-	return core.TopK(ins, q.K)
+	return core.TopK(ins, q.K), nil
 }
 
 // resolveClasses maps names to classes; empty names = all registered.

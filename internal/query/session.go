@@ -68,11 +68,16 @@ func (e *Engine) Neighborhood(focus core.Insight, classes []string, k int, appro
 
 // NeighborhoodContext is Neighborhood with a context; a trace on ctx
 // records the underlying query's spans plus a similarity-ranking span.
+// Cancellation is inherited from the underlying ExecuteContext and
+// re-checked before the similarity ranking.
 func (e *Engine) NeighborhoodContext(ctx context.Context, focus core.Insight, classes []string, k int, approx bool) ([]core.Insight, error) {
 	defer e.observeOp("neighborhood", time.Now())
 	res, err := e.ExecuteContext(ctx, Query{Classes: classes, Approx: approx})
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, e.noteCancel(err)
 	}
 	defer obs.StartSpan(ctx, "similarity")()
 	type scored struct {

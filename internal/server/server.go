@@ -9,14 +9,27 @@
 // spans (parse → enumerate → score → rank → render) land in a ring
 // buffer served at /api/debug/traces; /metrics exposes the whole
 // registry in Prometheus text format.
+//
+// The serving path is bounded end to end (DESIGN.md §6e): every API
+// request runs under an optional deadline whose expiry surfaces as
+// 504 (the engine honors the context, so the workers actually stop),
+// a bounded-concurrency gate sheds excess load with 503 instead of
+// queueing without limit, handler panics are recovered into 500s with
+// the stack in the structured log, and POST bodies are capped. The
+// cancellation/timeout/shed/panic counters land in /metrics next to
+// everything else.
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +40,16 @@ import (
 	"foresight/internal/query"
 	"foresight/internal/viz"
 )
+
+// maxRequestBody caps POST bodies (/api/focus, /api/state); larger
+// requests are rejected with 413 before decoding.
+const maxRequestBody = 1 << 20
+
+// statusClientClosedRequest is the nginx-convention status recorded
+// when the client disconnected before the response was written; it
+// never reaches a live client but keeps abandoned requests visible in
+// the per-status metrics.
+const statusClientClosedRequest = 499
 
 // Options configures the server's observability stack. The zero value
 // is fully functional: a private registry, a 64-trace ring buffer
@@ -45,6 +68,16 @@ type Options struct {
 	SlowTraceThreshold time.Duration
 	// Version is reported by /api/stats ("" → "dev").
 	Version string
+	// RequestTimeout bounds each API request's context; the engine
+	// returns promptly on expiry and the response is a 504 JSON error.
+	// 0 disables the deadline.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served API requests; excess
+	// requests are shed immediately with a 503 JSON error instead of
+	// queueing without bound. 0 disables the gate. The index page and
+	// /metrics are never gated, so the UI loads and observability
+	// survives saturation.
+	MaxInflight int
 }
 
 // Server wires one dataset, one engine and one exploration session
@@ -67,6 +100,14 @@ type Server struct {
 	traces   *obs.TraceLog
 	start    time.Time
 	version  string
+
+	// Serving-path safety rails (§6e): the per-request deadline, the
+	// bounded-concurrency gate, and their visibility counters.
+	requestTimeout time.Duration
+	gate           chan struct{} // nil = unlimited
+	panics         *obs.Counter
+	timeouts       *obs.Counter
+	sheds          *obs.Counter
 }
 
 // New returns a Server over the engine with carousel length k. An
@@ -86,14 +127,24 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 		version = "dev"
 	}
 	s := &Server{
-		engine:   engine,
-		session:  query.NewSession(engine, k, approx),
-		mux:      http.NewServeMux(),
-		registry: reg,
-		traces:   obs.NewTraceLog(o.TraceCapacity, o.SlowTraceThreshold),
-		start:    time.Now(),
-		version:  version,
+		engine:         engine,
+		session:        query.NewSession(engine, k, approx),
+		mux:            http.NewServeMux(),
+		registry:       reg,
+		traces:         obs.NewTraceLog(o.TraceCapacity, o.SlowTraceThreshold),
+		start:          time.Now(),
+		version:        version,
+		requestTimeout: o.RequestTimeout,
 	}
+	if o.MaxInflight > 0 {
+		s.gate = make(chan struct{}, o.MaxInflight)
+	}
+	s.panics = reg.Counter("foresight_http_panics_total",
+		"Handler panics recovered by the middleware (returned as 500).")
+	s.timeouts = reg.Counter("foresight_http_timeouts_total",
+		"Requests that exceeded the per-request deadline (returned as 504).")
+	s.sheds = reg.Counter("foresight_http_sheds_total",
+		"Requests shed by the max-inflight gate (returned as 503).")
 	engine.Instrument(reg)
 	reg.GaugeFunc("foresight_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -124,18 +175,21 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 	s.handle("/api/state", s.handleState, http.MethodGet, http.MethodPost)
 	s.handle("/api/stats", s.handleStats, http.MethodGet)
 	s.handle("/api/debug/traces", s.handleDebugTraces, http.MethodGet)
-	s.mux.Handle("/metrics", s.httpObs.Wrap("/metrics", reg.Handler()))
+	s.mux.Handle("/metrics", s.httpObs.Wrap("/metrics", s.recoverPanics("/metrics", reg.Handler())))
 	return s
 }
 
-// handle registers an instrumented handler for pattern: the
+// handle registers an instrumented handler for pattern: the obs
 // middleware assigns the request ID, trace, per-route metrics and log
-// line; the guard rejects methods outside allowed with a consistent
-// 405 JSON error naming the allowed set.
+// line; inside it, panic recovery converts a crashing handler into a
+// 500; API routes additionally pass the load-shedding gate and run
+// under the per-request deadline; innermost, the guard rejects
+// methods outside allowed with a consistent 405 JSON error naming the
+// allowed set.
 func (s *Server) handle(pattern string, h http.HandlerFunc, allowed ...string) {
-	guarded := h
+	var next http.Handler = h
 	if len(allowed) > 0 {
-		guarded = func(w http.ResponseWriter, r *http.Request) {
+		next = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			for _, m := range allowed {
 				if r.Method == m || (m == http.MethodGet && r.Method == http.MethodHead) {
 					h(w, r)
@@ -145,9 +199,105 @@ func (s *Server) handle(pattern string, h http.HandlerFunc, allowed ...string) {
 			w.Header().Set("Allow", strings.Join(allowed, ", "))
 			s.jsonError(w, r, http.StatusMethodNotAllowed,
 				fmt.Errorf("method %s not allowed (allow: %s)", r.Method, strings.Join(allowed, ", ")))
-		}
+		})
 	}
-	s.mux.Handle(pattern, s.httpObs.Wrap(pattern, guarded))
+	if strings.HasPrefix(pattern, "/api/") {
+		next = s.withDeadline(next)
+		next = s.withGate(next)
+	}
+	s.mux.Handle(pattern, s.httpObs.Wrap(pattern, s.recoverPanics(pattern, next)))
+}
+
+// trackingWriter remembers whether anything was written so the panic
+// recovery knows if a 500 body can still be sent.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *trackingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverPanics isolates handler panics: the process keeps serving,
+// the client gets a 500 JSON error (when nothing was written yet), the
+// stack lands in the structured log, and foresight_http_panics_total
+// increments. http.ErrAbortHandler is re-raised — it is net/http's
+// sanctioned way to abort a response, not a crash.
+func (s *Server) recoverPanics(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.panics.Inc()
+			s.httpObs.Log.Log("panic", map[string]interface{}{
+				"request_id": obs.RequestIDFrom(r.Context()),
+				"route":      route,
+				"method":     r.Method,
+				"panic":      fmt.Sprint(rec),
+				"stack":      string(debug.Stack()),
+			})
+			if !tw.wrote {
+				s.jsonError(tw, r, http.StatusInternalServerError,
+					fmt.Errorf("internal error serving %s (panic recovered; see server log)", route))
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// withGate sheds load once MaxInflight API requests are already being
+// served: the request is rejected immediately with 503 rather than
+// queueing behind work the server cannot keep up with.
+func (s *Server) withGate(next http.Handler) http.Handler {
+	if s.gate == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+			next.ServeHTTP(w, r)
+		default:
+			s.sheds.Inc()
+			w.Header().Set("Retry-After", "1")
+			s.jsonError(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("server saturated (%d requests in flight); retry shortly", cap(s.gate)))
+		}
+	})
+}
+
+// withDeadline bounds the request context. The handlers pass this
+// context into the engine, which stops scoring when it fires; the
+// resulting context.DeadlineExceeded is mapped to 504 by jsonError.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -157,9 +307,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // /metrics on a separate debug listener).
 func (s *Server) Registry() *obs.Registry { return s.registry }
 
+// errorStatus refines a handler's fallback status from the error's
+// identity: an expired per-request deadline is a 504 (and counts
+// toward the timeout counter at the write site), a client that went
+// away is recorded as 499, and an oversized POST body is a 413.
+func errorStatus(code int, err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	}
+	return code
+}
+
 // jsonError writes a JSON error body carrying the request ID so the
-// response correlates with log lines and traces.
+// response correlates with log lines and traces. Context errors
+// override the caller's status (504 deadline / 499 client gone) so
+// every handler maps cancellation consistently.
 func (s *Server) jsonError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	code = errorStatus(code, err)
+	if code == http.StatusGatewayTimeout {
+		s.timeouts.Inc()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	body := map[string]string{"error": err.Error()}
@@ -169,11 +342,19 @@ func (s *Server) jsonError(w http.ResponseWriter, r *http.Request, code int, err
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// writeJSON encodes v fully before touching the ResponseWriter, so an
+// encoding failure can still produce a clean 500 instead of an error
+// line appended to a half-written 200 body, and successful responses
+// go out in one write with an accurate Content-Length.
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -393,6 +574,7 @@ type focusRequest struct {
 }
 
 func (s *Server) handleFocus(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	var req focusRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.jsonError(w, r, http.StatusBadRequest, err)
@@ -460,6 +642,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"http": map[string]interface{}{
 			"requests_total":  s.httpObs.Metrics.Requests.Total(),
 			"traces_recorded": s.traces.Total(),
+			"panics":          s.panics.Value(),
+			"timeouts":        s.timeouts.Value(),
+			"sheds":           s.sheds.Value(),
+		},
+		"lifecycle": map[string]interface{}{
+			"request_timeout_ms":   float64(s.requestTimeout) / float64(time.Millisecond),
+			"max_inflight":         cap(s.gate),
+			"engine_cancellations": s.engine.Cancellations(),
 		},
 	})
 }
@@ -491,13 +681,21 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
+		// Serialize to a buffer first so a failing Save can still turn
+		// into a clean 500 (same single-write discipline as writeJSON).
 		s.mu.RLock()
-		defer s.mu.RUnlock()
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.session.Save(w); err != nil {
+		var buf bytes.Buffer
+		err := s.session.Save(&buf)
+		s.mu.RUnlock()
+		if err != nil {
 			s.jsonError(w, r, http.StatusInternalServerError, err)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
 	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		restored, err := query.LoadSession(r.Body, s.engine)
