@@ -11,7 +11,9 @@
 //
 // The main listener exposes Prometheus metrics at /metrics, recent
 // slow-request traces at /api/debug/traces, and operational stats at
-// /api/stats. With -debug-addr a second listener additionally serves
+// /api/stats. POST /api/ingest appends row batches live (CSV or JSON;
+// the sketch store extends incrementally, bounded by -ingest-queue).
+// With -debug-addr a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (kept off the main port so
 // profiling endpoints are never exposed to UI traffic).
 //
@@ -60,6 +62,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-request JSON logs on stderr")
 	requestTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline for API requests; expired requests get 504 and release their workers (0 = no deadline)")
 	maxInflight := flag.Int("max-inflight", 256, "maximum concurrently served API requests; excess requests are shed with 503 (0 = unlimited)")
+	ingestQueue := flag.Int("ingest-queue", 64, "maximum queued /api/ingest batches; excess batches are shed with 503")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
 	flag.Parse()
 
@@ -96,6 +99,7 @@ func main() {
 		Version:            version,
 		RequestTimeout:     *requestTimeout,
 		MaxInflight:        *maxInflight,
+		IngestQueue:        *ingestQueue,
 	}
 	if *quiet {
 		opts.LogWriter = nil
@@ -128,6 +132,7 @@ func main() {
 	if err := runUntilSignalled(httpSrv, *shutdownGrace); err != nil {
 		log.Fatalf("foresightd: %v", err)
 	}
+	srv.Close() // stop the ingest worker after the listener has drained
 	log.Printf("foresightd: shut down cleanly")
 }
 

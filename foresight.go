@@ -48,6 +48,9 @@ type (
 	SemanticType = frame.SemanticType
 	// ReadCSVOptions controls CSV ingestion and type inference.
 	ReadCSVOptions = frame.ReadCSVOptions
+	// RowBatch is a batch of rows for live ingest (Frame.AppendRows,
+	// Engine.Ingest).
+	RowBatch = frame.RowBatch
 )
 
 // Insight framework (the paper's §2).
@@ -85,6 +88,9 @@ type (
 	// CacheStats is a snapshot of the engine's memoized scoring cache
 	// (hits, misses, entries, generation).
 	CacheStats = query.CacheStats
+	// IngestResult reports one applied live-ingest batch (rows added,
+	// new total, new cache generation).
+	IngestResult = query.IngestResult
 )
 
 // OutlierDetector configures the outlier insight class.

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/frame"
+	"foresight/internal/query"
+	"foresight/internal/sketch"
+)
+
+// E12Config sizes the live-ingest experiment.
+type E12Config struct {
+	// BaseRows is the initially profiled dataset size; Batches batches
+	// of BatchRows rows stream in afterwards.
+	BaseRows, BatchRows, Batches int
+	Dims                         int
+	Seed                         int64
+}
+
+// RunE12Ingest measures the payoff of mergeable-sketch streaming
+// updates (the delta path behind Engine.Ingest): appending N batches
+// with incremental profile extension versus rebuilding the profile
+// from scratch after every batch. It then checks that the streamed
+// profile answers like a from-scratch one: every registered class
+// scores all its candidates approximately under both profiles and the
+// largest score difference must stay within sketch tolerance, and the
+// score-cache generation must have advanced once per applied batch.
+func RunE12Ingest(w io.Writer, outDir string, cfg E12Config) error {
+	if cfg.BaseRows <= 0 {
+		cfg.BaseRows = 20000
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 2000
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 8
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = 16
+	}
+	total := cfg.BaseRows + cfg.Batches*cfg.BatchRows
+	full := datagen.Scalable(datagen.ScalableConfig{
+		Rows: total, NumericCols: cfg.Dims, CatCols: 2, Seed: cfg.Seed,
+	})
+	keep := make([]bool, total)
+	for i := 0; i < cfg.BaseRows; i++ {
+		keep[i] = true
+	}
+	base, err := full.FilterRows(keep)
+	if err != nil {
+		return err
+	}
+	pcfg := sketch.ProfileConfig{Seed: cfg.Seed, K: 128}
+
+	// Incremental: one engine, profile extended per batch by the
+	// mergeable-sketch delta path.
+	engine, err := query.NewEngine(base, core.NewRegistry(), sketch.BuildProfile(base, pcfg))
+	if err != nil {
+		return err
+	}
+	engine.SetWorkers(runtime.GOMAXPROCS(0))
+	genBefore := engine.CacheStats().Generation
+	var incTotal time.Duration
+	for b := 0; b < cfg.Batches; b++ {
+		batch := sliceBatch(full, cfg.BaseRows+b*cfg.BatchRows, cfg.BaseRows+(b+1)*cfg.BatchRows)
+		var res query.IngestResult
+		incTotal += timeIt(func() {
+			res, err = engine.Ingest(context.Background(), batch, nil)
+		})
+		if err != nil {
+			return err
+		}
+		if res.TotalRows != cfg.BaseRows+(b+1)*cfg.BatchRows {
+			return fmt.Errorf("e12: batch %d: %d rows, want %d", b, res.TotalRows, cfg.BaseRows+(b+1)*cfg.BatchRows)
+		}
+	}
+	genAfter := engine.CacheStats().Generation
+
+	// Rebuild baseline: same appends, but the profile is rebuilt from
+	// scratch over the whole frame after each batch (what a
+	// non-mergeable sketch store would be forced to do).
+	reFrame := base
+	var rebuildTotal time.Duration
+	for b := 0; b < cfg.Batches; b++ {
+		batch := sliceBatch(full, cfg.BaseRows+b*cfg.BatchRows, cfg.BaseRows+(b+1)*cfg.BatchRows)
+		reFrame, err = reFrame.AppendRows(batch, nil)
+		if err != nil {
+			return err
+		}
+		f := reFrame
+		rebuildTotal += timeIt(func() {
+			sketch.BuildProfile(f, pcfg)
+		})
+	}
+
+	// Accuracy: the streamed profile must score like a from-scratch
+	// profile over the final frame, within sketch tolerance.
+	scratch := sketch.BuildProfile(engine.Frame(), pcfg)
+	streamed := engine.Profile()
+	maxDelta, pairs := 0.0, 0
+	for _, c := range engine.Registry().Classes() {
+		for _, attrs := range c.Candidates(engine.Frame()) {
+			a, errA := c.ScoreApprox(streamed, attrs, "")
+			b, errB := c.ScoreApprox(scratch, attrs, "")
+			if errA != nil || errB != nil || math.IsNaN(a.Score) || math.IsNaN(b.Score) {
+				continue
+			}
+			pairs++
+			// Relative delta: class scores live on very different scales
+			// (correlations in [0,1], dispersion ratios in the tens), so
+			// divergence is measured against the score magnitude.
+			den := math.Max(1, math.Max(math.Abs(a.Score), math.Abs(b.Score)))
+			if d := math.Abs(a.Score-b.Score) / den; d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+
+	speedup := float64(rebuildTotal) / float64(incTotal)
+	t := NewTable(fmt.Sprintf("E12: streaming ingest via mergeable sketches (base=%d, %d×%d-row batches, d=%d)",
+		cfg.BaseRows, cfg.Batches, cfg.BatchRows, cfg.Dims+2),
+		"measure", "value")
+	t.AddRow("incremental: total over batches", incTotal)
+	t.AddRow("incremental: per batch", incTotal/time.Duration(cfg.Batches))
+	t.AddRow("rebuild: total over batches", rebuildTotal)
+	t.AddRow("rebuild: per batch", rebuildTotal/time.Duration(cfg.Batches))
+	t.AddRow("speedup (rebuild/incremental)", fmt.Sprintf("%.1fx", speedup))
+	t.AddRow("cache generation advance", fmt.Sprintf("%d (batches=%d)", genAfter-genBefore, cfg.Batches))
+	t.AddRow("approx score pairs compared", pairs)
+	t.AddRow("max relative score delta (streamed vs scratch)", fmt.Sprintf("%.4f", maxDelta))
+	t.Print(w)
+
+	const tol = 0.15
+	ok := true
+	if speedup <= 1 {
+		ok = false
+		fmt.Fprintf(w, "WARNING: incremental ingest (%v) not faster than full rebuilds (%v).\n", incTotal, rebuildTotal)
+	}
+	if maxDelta > tol {
+		ok = false
+		fmt.Fprintf(w, "WARNING: streamed profile diverges from scratch profile: max relative score delta %.4f > %.2f.\n", maxDelta, tol)
+	}
+	if genAfter-genBefore != uint64(cfg.Batches) {
+		ok = false
+		fmt.Fprintf(w, "WARNING: cache generation advanced %d times for %d batches.\n", genAfter-genBefore, cfg.Batches)
+	}
+	if ok {
+		fmt.Fprintf(w, "streaming ingest: %.1fx cheaper than per-batch rebuilds, scores within %.2f of a from-scratch profile, one cache generation per batch.\n",
+			speedup, tol)
+	}
+	return t.WriteTSV(outDir, "e12_ingest")
+}
+
+// sliceBatch renders rows [start, end) of f as a RowBatch in frame
+// column order, the way an external producer would post them (%g
+// round-trips float64 exactly, so no precision is lost on the wire).
+func sliceBatch(f *frame.Frame, start, end int) frame.RowBatch {
+	records := make([][]string, 0, end-start)
+	for r := start; r < end; r++ {
+		rec := make([]string, f.Cols())
+		for c := 0; c < f.Cols(); c++ {
+			if f.Column(c).IsMissing(r) {
+				rec[c] = ""
+			} else {
+				rec[c] = f.Column(c).StringAt(r)
+			}
+		}
+		records = append(records, rec)
+	}
+	return frame.RowBatch{Records: records}
+}

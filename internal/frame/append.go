@@ -1,0 +1,133 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// RowBatch is a batch of rows to append to an existing Frame, as raw
+// string cells (the same wire shape CSV and JSON ingest produce).
+type RowBatch struct {
+	// Columns names the fields of each record, in record order. Empty
+	// means the frame's own column order. Every named column must
+	// exist in the frame; frame columns not named receive missing
+	// cells.
+	Columns []string
+	// Records are the rows to append; each must have len(Columns)
+	// fields (or frame-width fields when Columns is empty).
+	Records [][]string
+}
+
+// AppendRows returns a new Frame with the batch's rows appended,
+// applying the same missing-value and parse rules as ReadCSV: cells
+// matching a missing token (or empty) are missing, numeric cells that
+// fail to parse become NaN, and categorical cells extend the
+// dictionary on first appearance. Column types are fixed by the
+// receiver — no re-inference. The receiver is never mutated (new
+// backing slices throughout), so concurrent readers of f stay
+// consistent; an empty batch returns f itself. opts may be nil for
+// defaults; only Comma is ignored (the batch is already split into
+// cells).
+func (f *Frame) AppendRows(b RowBatch, opts *ReadCSVOptions) (*Frame, error) {
+	if opts == nil {
+		opts = &ReadCSVOptions{}
+	}
+	opts.fill()
+	if len(b.Records) == 0 {
+		return f, nil
+	}
+	names := b.Columns
+	if len(names) == 0 {
+		names = f.Names()
+	}
+	// fieldOf[ci] is the record field holding frame column ci, or -1.
+	fieldOf := make([]int, len(f.cols))
+	for i := range fieldOf {
+		fieldOf[i] = -1
+	}
+	for bi, name := range names {
+		ci := f.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("frame: append: no column %q (have %v)", name, f.Names())
+		}
+		if fieldOf[ci] != -1 {
+			return nil, fmt.Errorf("frame: append: duplicate column %q", name)
+		}
+		fieldOf[ci] = bi
+	}
+	for ri, rec := range b.Records {
+		if len(rec) != len(names) {
+			return nil, fmt.Errorf("frame: append: record %d has %d fields, want %d", ri, len(rec), len(names))
+		}
+	}
+
+	n := f.rows + len(b.Records)
+	cols := make([]Column, len(f.cols))
+	for ci, c := range f.cols {
+		bi := fieldOf[ci]
+		cell := func(r int) string {
+			if bi < 0 {
+				return ""
+			}
+			return strings.TrimSpace(b.Records[r][bi])
+		}
+		switch col := c.(type) {
+		case *NumericColumn:
+			vals := make([]float64, 0, n)
+			vals = append(vals, col.values...)
+			for r := range b.Records {
+				s := cell(r)
+				if opts.isMissing(s) {
+					vals = append(vals, math.NaN())
+					continue
+				}
+				v, err := strconv.ParseFloat(strings.ReplaceAll(s, ",", ""), 64)
+				if err != nil || math.IsInf(v, 0) {
+					vals = append(vals, math.NaN())
+					continue
+				}
+				vals = append(vals, v)
+			}
+			cols[ci] = NewNumericColumn(col.name, vals)
+		case *CategoricalColumn:
+			codes := make([]int32, 0, n)
+			codes = append(codes, col.codes...)
+			dict := append([]string(nil), col.dict...)
+			index := make(map[string]int32, len(dict))
+			for code, v := range dict {
+				index[v] = int32(code)
+			}
+			for r := range b.Records {
+				s := cell(r)
+				if opts.isMissing(s) {
+					codes = append(codes, -1)
+					continue
+				}
+				code, ok := index[s]
+				if !ok {
+					code = int32(len(dict))
+					dict = append(dict, s)
+					index[s] = code
+				}
+				codes = append(codes, code)
+			}
+			nc, err := NewCategoricalFromCodes(col.name, codes, dict)
+			if err != nil {
+				return nil, fmt.Errorf("frame: append: %w", err)
+			}
+			cols[ci] = nc
+		default:
+			return nil, fmt.Errorf("frame: append: cannot append to column kind %T", c)
+		}
+	}
+	out, err := New(f.name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	for name, m := range f.meta {
+		_ = out.SetMeta(name, m)
+	}
+	return out, nil
+}

@@ -18,11 +18,12 @@ type ReadCSVOptions struct {
 	// the empty string (case-insensitive). Defaults to
 	// ["na", "n/a", "nan", "null", "-"] when nil.
 	MissingTokens []string
-	// MaxCategories caps the number of distinct values a column may
-	// have and still be inferred as categorical when it fails numeric
-	// parsing; columns above the cap are still ingested as categorical
-	// (free text), this only affects nothing today but is validated for
-	// forward compatibility. Zero means no cap.
+	// MaxCategories caps the number of distinct non-missing values a
+	// column may have and still be ingested as categorical when it
+	// fails numeric inference. Columns over the cap (free text, IDs)
+	// are dropped from the frame — their cardinality defeats the
+	// heavy-hitter and distinct sketches and every grouping they would
+	// feed. Zero means no cap.
 	MaxCategories int
 	// NumericThreshold is the fraction of non-missing cells that must
 	// parse as float64 for a column to be inferred numeric; cells that
@@ -64,7 +65,9 @@ func (o *ReadCSVOptions) isMissing(cell string) bool {
 // ReadCSV ingests a CSV stream with a header row into a Frame, using
 // per-column type inference: a column whose non-missing cells parse as
 // float64 at a rate of at least NumericThreshold becomes numeric,
-// otherwise categorical. name labels the resulting Frame.
+// otherwise categorical. Non-numeric columns with more than
+// MaxCategories distinct values (when the cap is set) are dropped.
+// name labels the resulting Frame.
 func ReadCSV(r io.Reader, name string, opts *ReadCSVOptions) (*Frame, error) {
 	if opts == nil {
 		opts = &ReadCSVOptions{}
@@ -106,9 +109,14 @@ func ReadCSV(r io.Reader, name string, opts *ReadCSVOptions) (*Frame, error) {
 		}
 	}
 
-	cols := make([]Column, len(header))
+	cols := make([]Column, 0, len(header))
 	for i, cells := range raw {
-		cols[i] = inferColumn(header[i], cells, opts)
+		if c := inferColumn(header[i], cells, opts); c != nil {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("frame: no usable columns (all %d over MaxCategories=%d)", len(header), opts.MaxCategories)
 	}
 	return New(name, cols...)
 }
@@ -127,6 +135,8 @@ func ReadCSVFile(path, name string, opts *ReadCSVOptions) (*Frame, error) {
 	return ReadCSV(f, name, opts)
 }
 
+// inferColumn types one column, or returns nil for a non-numeric
+// column whose cardinality exceeds MaxCategories.
 func inferColumn(name string, cells []string, opts *ReadCSVOptions) Column {
 	parsed := make([]float64, len(cells))
 	numericOK, present := 0, 0
@@ -148,12 +158,17 @@ func inferColumn(name string, cells []string, opts *ReadCSVOptions) Column {
 		return NewNumericColumn(name, parsed)
 	}
 	strs := make([]string, len(cells))
+	distinct := make(map[string]struct{})
 	for i, cell := range cells {
 		if opts.isMissing(cell) {
 			strs[i] = ""
 		} else {
 			strs[i] = cell
+			distinct[cell] = struct{}{}
 		}
+	}
+	if opts.MaxCategories > 0 && len(distinct) > opts.MaxCategories {
+		return nil
 	}
 	return NewCategoricalColumn(name, strs)
 }

@@ -110,6 +110,14 @@ func (sc *scoreCache) invalidate() {
 	sc.mu.Unlock()
 }
 
+// generation returns the live generation; the engine reads it under
+// its own lock to stamp snapshots.
+func (sc *scoreCache) generation() uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.gen
+}
+
 // SetCacheEnabled toggles the scoring memo. Disabling does not drop
 // existing entries; re-enabling resumes serving them (call
 // InvalidateCache for a cold start).
@@ -153,20 +161,26 @@ func (e *Engine) CacheStats() CacheStats {
 // and published, and concurrent duplicate scoring of the same key is
 // collapsed by waiting on the in-flight owner instead of recomputing.
 //
+// Scoring runs entirely against the caller's snapshot. If the memo's
+// generation has moved past the snapshot's (an ingest or SetProfile
+// landed after the snapshot was taken), the memo is bypassed both ways
+// — stale scores are neither consumed nor published — so the response
+// stays internally consistent with its snapshot.
+//
 // The context bounds the whole batch: scoring stops dispatching and
 // singleflight waits unblock as soon as ctx is done, returning
 // ctx.Err(). Whatever was scored before the cutoff is already in the
 // memo. A panicking scorer abandons this call's unfinished slots
 // (waking cross-request waiters) before the panic propagates to the
 // caller.
-func (e *Engine) scoreCandidates(ctx context.Context, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
+func (e *Engine) scoreCandidates(ctx context.Context, snap snapshot, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
 	sc := e.cache
 	sc.mu.Lock()
-	if sc.disabled {
+	if sc.disabled || sc.gen != snap.gen {
 		sc.mu.Unlock()
-		return e.scoreCandidatesParallel(ctx, c, cands, approx, metric)
+		return e.scoreCandidatesParallel(ctx, snap, c, cands, approx, metric)
 	}
-	gen := sc.gen
+	gen := snap.gen
 	class := c.Name()
 	out := make([]core.Insight, len(cands))
 	keys := make([]cacheKey, len(cands))
@@ -216,12 +230,11 @@ func (e *Engine) scoreCandidates(ctx context.Context, c core.Class, cands [][]st
 		}
 	}()
 
-	profile := e.Profile()
 	err := runParallel(ctx, e.Workers(), len(owned), func(j int) {
 		e.inflightScores.Add(1)
 		defer e.inflightScores.Add(-1)
 		i := owned[j]
-		in := scoreOne(c, e.frame, profile, cands[i], approx, metric)
+		in := scoreOne(c, snap.frame, snap.profile, cands[i], approx, metric)
 		out[i] = in
 		sl := slots[i]
 		sl.in = in
@@ -256,7 +269,7 @@ func (e *Engine) scoreCandidates(ctx context.Context, c core.Class, cands [][]st
 			return nil, err
 		}
 		e.inflightScores.Add(1)
-		in := scoreOne(c, e.frame, profile, cands[i], approx, metric)
+		in := scoreOne(c, snap.frame, snap.profile, cands[i], approx, metric)
 		e.inflightScores.Add(-1)
 		out[i] = in
 		sc.mu.Lock()

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"context"
+	"time"
+
+	"foresight/internal/frame"
+	"foresight/internal/obs"
+	"foresight/internal/sketch"
+)
+
+// Live ingest: the engine accepts appended row batches without a full
+// rebuild. The frame grows by AppendRows (immutable — readers keep
+// their snapshot), the sketch store grows by the mergeable-sketch
+// delta path (sketch.DatasetProfile.Extend profiles just the new rows
+// and folds them in via Merge, paper §3), and the pair is swapped in
+// atomically together with a score-cache invalidation, so every query
+// before the swap sees the old dataset and every query after sees the
+// new one.
+
+// IngestResult reports one applied ingest batch.
+type IngestResult struct {
+	// RowsAppended is the number of rows in the applied batch.
+	RowsAppended int `json:"rows_appended"`
+	// TotalRows is the frame's row count after the append.
+	TotalRows int `json:"total_rows"`
+	// Generation is the score-cache generation after the swap; it
+	// advances on every applied ingest, so a client can tell whether a
+	// response was computed before or after its batch landed.
+	Generation uint64 `json:"generation"`
+}
+
+// Ingest appends a batch of rows to the engine's dataset and extends
+// the sketch store incrementally (when one is attached). Concurrent
+// Ingest calls serialize; queries are never blocked — they keep
+// answering from the previous (frame, profile) snapshot until the swap
+// and from the new one after it. opts carries the missing-value rules
+// (nil for ReadCSV defaults).
+//
+// The context is checked before the work starts and between the two
+// expensive phases (append, sketch delta); once the swap has happened
+// the batch is applied regardless of ctx. On error the engine is
+// untouched.
+func (e *Engine) Ingest(ctx context.Context, batch frame.RowBatch, opts *frame.ReadCSVOptions) (IngestResult, error) {
+	defer e.observeOp("ingest", time.Now())
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return IngestResult{}, e.noteCancel(err)
+	}
+	snap := e.snapshot()
+
+	endAppend := obs.StartSpan(ctx, "ingest:append")
+	f2, err := snap.frame.AppendRows(batch, opts)
+	endAppend()
+	if err != nil {
+		return IngestResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return IngestResult{}, e.noteCancel(err)
+	}
+
+	var p2 *sketch.DatasetProfile
+	if snap.profile != nil {
+		endDelta := obs.StartSpan(ctx, "ingest:delta")
+		p2, err = snap.profile.Extend(f2)
+		endDelta()
+		if err != nil {
+			return IngestResult{}, err
+		}
+	}
+
+	e.mu.Lock()
+	e.frame = f2
+	if p2 != nil {
+		e.profile = p2
+	}
+	e.cache.invalidate()
+	gen := e.cache.generation()
+	e.mu.Unlock()
+	return IngestResult{
+		RowsAppended: f2.Rows() - snap.frame.Rows(),
+		TotalRows:    f2.Rows(),
+		Generation:   gen,
+	}, nil
+}

@@ -60,7 +60,8 @@ func (e *Engine) OverviewContext(ctx context.Context, className, metric string, 
 	if c.Arity() > 2 {
 		return nil, fmt.Errorf("query: class %q (arity %d) has no overview visualization", className, c.Arity())
 	}
-	if approx && e.Profile() == nil {
+	snap := e.snapshot()
+	if approx && snap.profile == nil {
 		return nil, fmt.Errorf("query: approximate overview requires a preprocessed profile")
 	}
 	resolvedMetric := metric
@@ -75,10 +76,10 @@ func (e *Engine) OverviewContext(ctx context.Context, className, metric string, 
 	// mark tuples whose scoring errored.
 	tr := obs.TraceFrom(ctx)
 	endEnum := tr.StartSpan("enumerate:" + className)
-	cands := c.Candidates(e.frame)
+	cands := c.Candidates(snap.frame)
 	endEnum()
 	endScore := tr.StartSpan("score:" + className)
-	scored, err := e.scoreCandidates(ctx, c, cands, approx, resolvedMetric)
+	scored, err := e.scoreCandidates(ctx, snap, c, cands, approx, resolvedMetric)
 	endScore()
 	if err != nil {
 		return nil, e.noteCancel(err)

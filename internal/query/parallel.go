@@ -152,17 +152,16 @@ func scoreOne(c core.Class, f *frame.Frame, p *sketch.DatasetProfile, attrs []st
 	return in
 }
 
-// scoreCandidatesParallel scores every candidate tuple with the
-// engine's worker pool, bypassing the memo (one slot per candidate).
-// On cancellation the unscored suffix is left as zero-value slots and
-// the context error is returned.
-func (e *Engine) scoreCandidatesParallel(ctx context.Context, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
+// scoreCandidatesParallel scores every candidate tuple of the snapshot
+// with the engine's worker pool, bypassing the memo (one slot per
+// candidate). On cancellation the unscored suffix is left as
+// zero-value slots and the context error is returned.
+func (e *Engine) scoreCandidatesParallel(ctx context.Context, snap snapshot, c core.Class, cands [][]string, approx bool, metric string) ([]core.Insight, error) {
 	out := make([]core.Insight, len(cands))
-	profile := e.Profile()
 	err := runParallel(ctx, e.Workers(), len(cands), func(i int) {
 		e.inflightScores.Add(1)
 		defer e.inflightScores.Add(-1)
-		out[i] = scoreOne(c, e.frame, profile, cands[i], approx, metric)
+		out[i] = scoreOne(c, snap.frame, snap.profile, cands[i], approx, metric)
 	})
 	if err != nil {
 		return nil, err

@@ -64,17 +64,23 @@ type Result struct {
 //
 // An Engine is safe for concurrent use: any number of goroutines may
 // call Execute, Carousels, Overview, and Neighborhood in parallel.
-// The configuration setters (SetProfile, SetWorkers, SetCacheEnabled)
-// may also run concurrently; a query that overlaps a SetProfile call
-// observes either the old or the new store.
+// The mutators (Ingest, SetProfile, SetWorkers, SetCacheEnabled) may
+// also run concurrently; every query snapshots the (frame, profile,
+// cache generation) triple once and computes entirely against it, so
+// a query that overlaps an ingest observes either the old dataset or
+// the new one — never a mix.
 type Engine struct {
-	frame    *frame.Frame
 	registry *core.Registry
-	// mu guards the mutable configuration below so concurrent readers
-	// never observe a torn update; the score memo in cache.go carries
-	// its own finer-grained lock.
+	// mu guards the mutable state below so concurrent readers never
+	// observe a torn update; the score memo in cache.go carries its
+	// own finer-grained lock (ordering: mu before cache.mu).
 	mu      sync.RWMutex
+	frame   *frame.Frame
 	profile *sketch.DatasetProfile
+	// ingestMu serializes Ingest calls so concurrent appends cannot
+	// both extend the same base frame and lose rows (queries are not
+	// blocked: they read under mu only).
+	ingestMu sync.Mutex
 	// workers is the candidate-scoring parallelism (see SetWorkers);
 	// values < 2 mean sequential.
 	workers int
@@ -104,8 +110,30 @@ func NewEngine(f *frame.Frame, reg *core.Registry, profile *sketch.DatasetProfil
 	return &Engine{frame: f, registry: reg, profile: profile, cache: newScoreCache()}, nil
 }
 
-// Frame returns the engine's dataset.
-func (e *Engine) Frame() *frame.Frame { return e.frame }
+// Frame returns the engine's dataset (the current one — Ingest swaps
+// it; frames themselves are immutable).
+func (e *Engine) Frame() *frame.Frame {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.frame
+}
+
+// snapshot is one consistent view of the engine's data: the frame and
+// profile as of score-cache generation gen. Every query takes exactly
+// one snapshot and computes against it, so a response never mixes rows
+// from different ingest generations, and memoized scores are only
+// published or consumed when the snapshot's generation is still live.
+type snapshot struct {
+	frame   *frame.Frame
+	profile *sketch.DatasetProfile
+	gen     uint64
+}
+
+func (e *Engine) snapshot() snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return snapshot{frame: e.frame, profile: e.profile, gen: e.cache.generation()}
+}
 
 // ScoringInflight reports the number of candidate-scoring tasks
 // currently running in the worker pool — the gauge E11 watches drain
@@ -138,12 +166,14 @@ func (e *Engine) Profile() *sketch.DatasetProfile {
 
 // SetProfile attaches (or replaces) the preprocessed store and
 // invalidates every memoized approximate score (the exact scores are
-// dropped too: one generation stamp covers the whole memo).
+// dropped too: one generation stamp covers the whole memo). The
+// invalidation happens inside the engine lock so no snapshot can pair
+// the new profile with the old generation's memo entries.
 func (e *Engine) SetProfile(p *sketch.DatasetProfile) {
 	e.mu.Lock()
 	e.profile = p
-	e.mu.Unlock()
 	e.cache.invalidate()
+	e.mu.Unlock()
 }
 
 // Execute runs the query and returns one Result per class, in
@@ -175,7 +205,11 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 		endParse()
 		return nil, err
 	}
-	if q.Approx && e.Profile() == nil {
+	// One snapshot for the whole request: every class scores against
+	// the same (frame, profile, generation), even if an ingest lands
+	// mid-query.
+	snap := e.snapshot()
+	if q.Approx && snap.profile == nil {
 		endParse()
 		return nil, fmt.Errorf("query: approximate query requires a preprocessed profile")
 	}
@@ -196,7 +230,7 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 			}
 			continue
 		}
-		ins, err := e.scoreClass(ctx, tr, c, q, metric, maxScore)
+		ins, err := e.scoreClass(ctx, tr, snap, c, q, metric, maxScore)
 		if err != nil {
 			return nil, e.noteCancel(err)
 		}
@@ -212,18 +246,18 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 	return out, nil
 }
 
-func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, c core.Class, q Query, metric string, maxScore float64) ([]core.Insight, error) {
+func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c core.Class, q Query, metric string, maxScore float64) ([]core.Insight, error) {
 	// Filter candidates by the structural constraints first, then
 	// score (memoized, possibly in parallel), then filter by strength
 	// and rank. The memo keys on the resolved metric so explicit
 	// default-metric queries and "" share entries.
 	endEnum := tr.StartSpan("enumerate:" + c.Name())
 	var cands [][]string
-	for _, attrs := range c.Candidates(e.frame) {
+	for _, attrs := range c.Candidates(snap.frame) {
 		if !containsAll(attrs, q.Fixed) {
 			continue
 		}
-		if q.Semantic != frame.SemanticNone && !anySemantic(e.frame, attrs, q.Semantic) {
+		if q.Semantic != frame.SemanticNone && !anySemantic(snap.frame, attrs, q.Semantic) {
 			continue
 		}
 		cands = append(cands, attrs)
@@ -237,7 +271,7 @@ func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, c core.Class, q 
 		return nil, err
 	}
 	endScore := tr.StartSpan("score:" + c.Name())
-	scored, err := e.scoreCandidates(ctx, c, cands, q.Approx, resolved)
+	scored, err := e.scoreCandidates(ctx, snap, c, cands, q.Approx, resolved)
 	endScore()
 	if err != nil {
 		return nil, err

@@ -269,7 +269,7 @@ func (s *Session) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(sessionState{
-		Dataset: s.engine.frame.Name(),
+		Dataset: s.engine.Frame().Name(),
 		Focus:   s.Focus,
 		K:       s.K,
 		Approx:  s.Approx,
@@ -284,8 +284,8 @@ func LoadSession(r io.Reader, e *Engine) (*Session, error) {
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("query: decoding session: %w", err)
 	}
-	if st.Dataset != e.frame.Name() {
-		return nil, fmt.Errorf("query: session is for dataset %q, engine has %q", st.Dataset, e.frame.Name())
+	if name := e.Frame().Name(); st.Dataset != name {
+		return nil, fmt.Errorf("query: session is for dataset %q, engine has %q", st.Dataset, name)
 	}
 	s := NewSession(e, st.K, st.Approx)
 	s.Focus = st.Focus

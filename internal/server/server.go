@@ -78,6 +78,9 @@ type Options struct {
 	// /metrics are never gated, so the UI loads and observability
 	// survives saturation.
 	MaxInflight int
+	// IngestQueue bounds the /api/ingest batch queue (ingest.go);
+	// excess batches are shed with 503. 0 → 32.
+	IngestQueue int
 }
 
 // Server wires one dataset, one engine and one exploration session
@@ -108,6 +111,18 @@ type Server struct {
 	panics         *obs.Counter
 	timeouts       *obs.Counter
 	sheds          *obs.Counter
+
+	// Live-ingest queue and worker (ingest.go). Close stops the worker.
+	ingestQ         chan *ingestJob
+	ingestStop      chan struct{}
+	ingestWG        sync.WaitGroup
+	closeOnce       sync.Once
+	ingestRequests  *obs.Counter
+	ingestRejected  *obs.Counter
+	ingestRows      *obs.Counter
+	ingestBatches   *obs.Counter
+	ingestCoalesced *obs.Counter
+	ingestSeconds   *obs.Histogram
 }
 
 // New returns a Server over the engine with carousel length k. An
@@ -170,6 +185,8 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 	s.handle("/api/overview", s.handleOverview, http.MethodGet)
 	s.handle("/api/render", s.handleRender, http.MethodGet)
 	s.handle("/api/neighborhood", s.handleNeighborhood, http.MethodGet)
+	s.startIngest(o.IngestQueue)
+	s.handle("/api/ingest", s.handleIngest, http.MethodPost)
 	s.handle("/api/focus", s.handleFocus, http.MethodPost)
 	s.handle("/api/unfocus", s.handleUnfocus, http.MethodPost)
 	s.handle("/api/state", s.handleState, http.MethodGet, http.MethodPost)
@@ -347,6 +364,12 @@ func (s *Server) jsonError(w http.ResponseWriter, r *http.Request, code int, err
 // line appended to a half-written 200 body, and successful responses
 // go out in one write with an accurate Content-Length.
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	s.writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit success status code
+// (e.g. ingest's 202 Accepted).
+func (s *Server) writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -354,6 +377,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
 	_, _ = w.Write(buf.Bytes())
 }
 
@@ -619,10 +643,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
+	f := s.engine.Frame()
 	s.writeJSON(w, map[string]interface{}{
 		"cache":       s.engine.CacheStats(),
 		"workers":     s.engine.Workers(),
-		"dataset":     s.engine.Frame().Name(),
+		"dataset":     f.Name(),
+		"rows":        f.Rows(),
+		"generation":  s.engine.CacheStats().Generation,
 		"focus_count": focusCount,
 		"uptime_s":    time.Since(s.start).Seconds(),
 		"runtime": map[string]interface{}{
@@ -650,6 +677,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"request_timeout_ms":   float64(s.requestTimeout) / float64(time.Millisecond),
 			"max_inflight":         cap(s.gate),
 			"engine_cancellations": s.engine.Cancellations(),
+		},
+		"ingest": map[string]interface{}{
+			"queue_depth": len(s.ingestQ),
+			"queue_cap":   cap(s.ingestQ),
+			"requests":    s.ingestRequests.Value(),
+			"rejected":    s.ingestRejected.Value(),
+			"rows":        s.ingestRows.Value(),
+			"batches":     s.ingestBatches.Value(),
+			"coalesced":   s.ingestCoalesced.Value(),
 		},
 	})
 }

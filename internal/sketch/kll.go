@@ -137,8 +137,14 @@ func (s *KLL) Merge(other *KLL) error {
 	for s.size >= s.maxSize {
 		before := s.size
 		s.compress()
-		if s.size == before {
-			break
+		if s.size >= s.maxSize && s.size == before {
+			// A pass can stall when the total is over budget but no
+			// single level is over its own capacity (merging many small
+			// sketches piles items across levels). Growing adds a level,
+			// which shrinks the lower levels' capacities so the next
+			// pass can compact; maxSize strictly increases with each
+			// grow, so the loop terminates.
+			s.grow()
 		}
 	}
 	return nil

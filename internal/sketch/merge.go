@@ -34,6 +34,14 @@ func (p *DatasetProfile) Merge(other *DatasetProfile) error {
 		if !ok {
 			return fmt.Errorf("sketch: merge: numeric column %q missing", name)
 		}
+		// Projections only merge when both sides centered the column by
+		// the same mean; partials built from drifting means would sum
+		// incompatible dot vectors silently.
+		if np.ProjCenter != onp.ProjCenter &&
+			!(math.IsNaN(np.ProjCenter) && math.IsNaN(onp.ProjCenter)) {
+			return fmt.Errorf("sketch: merge: column %q centered at %v vs %v: %w",
+				name, np.ProjCenter, onp.ProjCenter, ErrShapeMismatch)
+		}
 		np.Moments.Merge(onp.Moments)
 		if err := np.Quantiles.Merge(onp.Quantiles); err != nil {
 			return err
@@ -77,8 +85,14 @@ func (p *DatasetProfile) Merge(other *DatasetProfile) error {
 }
 
 // mergeReservoirs combines two uniform samples over disjoint streams
-// into one approximately uniform sample of the union, by sampling
-// each side proportionally to its stream length.
+// into one approximately uniform sample of the union. Each draw picks
+// a side with probability proportional to that side's *remaining*
+// stream mass (so the side split tracks the hypergeometric
+// allocation), then takes a uniform not-yet-taken item from that
+// side's sample. The side samples are shuffled first: a reservoir's
+// item array is not in random order (an underfilled reservoir is in
+// stream order, and algorithm R overwrites in place), so consuming
+// prefixes would over-represent early-stream items.
 func mergeReservoirs(a, b *Reservoir, seed int64) *Reservoir {
 	if b == nil || b.Count() == 0 {
 		return a
@@ -89,18 +103,32 @@ func mergeReservoirs(a, b *Reservoir, seed int64) *Reservoir {
 	total := a.Count() + b.Count()
 	out := NewReservoir(a.capacity, seed+int64(total))
 	rng := rand.New(rand.NewSource(seed + int64(total) + 1))
-	// Draw capacity items, choosing the source stream by weight.
+	as := append([]float64(nil), a.Sample()...)
+	bs := append([]float64(nil), b.Sample()...)
+	rng.Shuffle(len(as), func(i, j int) { as[i], as[j] = as[j], as[i] })
+	rng.Shuffle(len(bs), func(i, j int) { bs[i], bs[j] = bs[j], bs[i] })
+	// Each sample item stands in for count/len(sample) stream items;
+	// decrement the side's remaining mass by that step per draw.
+	wa, wb := float64(a.Count()), float64(b.Count())
+	stepA, stepB := wa/float64(len(as)), wb/float64(len(bs))
 	ai, bi := 0, 0
-	as, bs := a.Sample(), b.Sample()
 	for len(out.items) < out.capacity && (ai < len(as) || bi < len(bs)) {
 		pickA := bi >= len(bs) ||
-			(ai < len(as) && rng.Float64() < float64(a.Count())/float64(total))
+			(ai < len(as) && rng.Float64()*(wa+wb) < wa)
 		if pickA {
 			out.items = append(out.items, as[ai])
 			ai++
+			wa -= stepA
 		} else {
 			out.items = append(out.items, bs[bi])
 			bi++
+			wb -= stepB
+		}
+		if wa < 0 {
+			wa = 0
+		}
+		if wb < 0 {
+			wb = 0
 		}
 	}
 	out.n = total
@@ -145,6 +173,7 @@ func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, me
 	for i, nc := range numeric {
 		np := p.Numeric[nc.Name()]
 		np.Proj = projections[i]
+		np.ProjCenter = colMeans[i]
 		np.Planes = HyperplaneFromProjection(projections[i])
 	}
 	for _, cc := range f.CategoricalColumns() {

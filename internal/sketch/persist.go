@@ -20,8 +20,10 @@ import (
 // freshly seeded generator, so post-load updates remain valid sketch
 // behavior but are not bit-identical to an unserialized twin.
 
-// profileWireVersion guards the serialized layout.
-const profileWireVersion = 1
+// profileWireVersion guards the serialized layout. Version 2 added
+// NumericProfile.ProjCenter (the build-time projection-centering
+// mean, required for incremental extension).
+const profileWireVersion = 2
 
 type kllWire struct {
 	K          int
@@ -65,6 +67,7 @@ type numericProfileWire struct {
 	Moments         Moments
 	Quantiles       kllWire
 	Proj            projectionWire
+	ProjCenter      float64
 	Planes          hyperplaneWire
 	HasRank         bool
 	RankProj        projectionWire
@@ -195,6 +198,7 @@ func (p *DatasetProfile) Save(w io.Writer) error {
 				Moments:         np.Moments,
 				Quantiles:       kllToWire(np.Quantiles),
 				Proj:            projectionToWire(np.Proj),
+				ProjCenter:      np.ProjCenter,
 				Planes:          hyperplaneToWire(np.Planes),
 				Sample:          reservoirToWire(np.Sample),
 				RowSampleValues: np.RowSampleValues,
@@ -262,6 +266,7 @@ func LoadProfile(r io.Reader) (*DatasetProfile, error) {
 			Moments:         nw.Moments,
 			Quantiles:       kllFromWire(nw.Quantiles),
 			Proj:            projectionFromWire(nw.Proj),
+			ProjCenter:      nw.ProjCenter,
 			Planes:          hyperplaneFromWire(nw.Planes),
 			Sample:          reservoirFromWire(nw.Sample, wire.Config.Seed),
 			RowSampleValues: nw.RowSampleValues,

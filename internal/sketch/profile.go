@@ -75,6 +75,12 @@ type NumericProfile struct {
 	// Proj is the shared-direction Gaussian projection of the centered
 	// column.
 	Proj *Projection
+	// ProjCenter is the mean Proj was centered by at build time.
+	// Partial profiles are merge-compatible only when centered by the
+	// same value, so incremental extensions (Extend) must center new
+	// rows by this stored mean, not by the drifted post-merge
+	// Moments.Mean.
+	ProjCenter float64
 	// Planes is the SimHash bit vector derived from Proj.
 	Planes *Hyperplane
 	// RankProj/RankPlanes are the projections of the rank-transformed
@@ -174,6 +180,7 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 	for i, nc := range numeric {
 		np := p.Numeric[nc.Name()]
 		np.Proj = projections[i]
+		np.ProjCenter = means[i]
 		np.Planes = HyperplaneFromProjection(projections[i])
 	}
 	observeSince("build.project", projStart)

@@ -12,6 +12,7 @@ type Reservoir struct {
 	items    []float64
 	n        uint64
 	rng      *rand.Rand
+	seed     int64
 }
 
 // NewReservoir returns a reservoir holding up to capacity values,
@@ -25,6 +26,7 @@ func NewReservoir(capacity int, seed int64) *Reservoir {
 		capacity: capacity,
 		items:    make([]float64, 0, capacity),
 		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 	}
 }
 

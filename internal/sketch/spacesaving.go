@@ -122,13 +122,39 @@ func (s *SpaceSaving) RelFreqTopK(k int) float64 {
 	return f
 }
 
-// Merge folds other into s (standard SpaceSaving merge: sum matching
-// counters, then keep the top `capacity` by count). Error bounds are
-// combined conservatively.
+// floor returns the smallest tracked count when the sketch is at
+// capacity, else 0. Any item the sketch does NOT track has true count
+// at most floor() — the SpaceSaving invariant the merge leans on.
+func (s *SpaceSaving) floor() uint64 {
+	if len(s.counters) < s.capacity {
+		return 0
+	}
+	var min uint64
+	first := true
+	for _, c := range s.counters {
+		if first || c.count < min {
+			min = c.count
+			first = false
+		}
+	}
+	return min
+}
+
+// Merge folds other into s: the conservative SpaceSaving merge.
+// Counters tracked on both sides sum their counts and error bounds.
+// A counter tracked on only one side may still have occurred up to
+// the other side's floor (its minimum count at capacity) without
+// being tracked there, so that floor is added to BOTH its count and
+// its error bound — raising the estimate keeps `est ≥ true` and
+// raising err by the same amount keeps `est ≤ true + err`. Then the
+// top `capacity` counters by count survive; every evicted count is ≤
+// the surviving minimum, so the untracked-item invariant
+// (true ≤ floor) still holds for them.
 func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 	if other == nil {
 		return nil
 	}
+	floorS, floorO := s.floor(), other.floor()
 	merged := make(map[string]*ssCounter, len(s.counters)+len(other.counters))
 	for item, c := range s.counters {
 		merged[item] = &ssCounter{item: item, count: c.count, err: c.err}
@@ -138,7 +164,13 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 			m.count += c.count
 			m.err += c.err
 		} else {
-			merged[item] = &ssCounter{item: item, count: c.count, err: c.err}
+			merged[item] = &ssCounter{item: item, count: c.count + floorS, err: c.err + floorS}
+		}
+	}
+	for item, m := range merged {
+		if _, both := other.counters[item]; !both {
+			m.count += floorO
+			m.err += floorO
 		}
 	}
 	if len(merged) > s.capacity {
