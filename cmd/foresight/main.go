@@ -82,7 +82,7 @@ commands:
   overview   per-class global view (the Figure-2 heat map)
   render     one insight visualization as SVG
   report     self-contained HTML report (carousels + overview)
-  profile    build and persist a sketch store (-parts for partitioned)
+  profile    build and persist a sketch store (-parts partitioned, -shards parallel)
   serve      start the demo web server (same UI as foresightd)
   demo       write a synthetic demo dataset as CSV
 
@@ -106,12 +106,13 @@ func loadData(path string, seed int64) (*foresight.Frame, error) {
 }
 
 func newEngine(f *foresight.Frame, approx bool, seed int64) (*foresight.Engine, error) {
-	return newEngineWithProfile(f, approx, seed, "")
+	return newEngineWithProfile(f, approx, seed, "", 0)
 }
 
 // newEngineWithProfile builds the engine; when approx is requested a
-// sketch store is loaded from profilePath (if given) or built fresh.
-func newEngineWithProfile(f *foresight.Frame, approx bool, seed int64, profilePath string) (*foresight.Engine, error) {
+// sketch store is loaded from profilePath (if given) or built fresh —
+// with the sharded data-parallel builder when buildShards != 0.
+func newEngineWithProfile(f *foresight.Frame, approx bool, seed int64, profilePath string, buildShards int) (*foresight.Engine, error) {
 	var profile *foresight.Profile
 	if profilePath != "" {
 		file, err := os.Open(profilePath)
@@ -124,7 +125,8 @@ func newEngineWithProfile(f *foresight.Frame, approx bool, seed int64, profilePa
 			return nil, err
 		}
 	} else if approx {
-		profile = foresight.BuildProfile(f, foresight.ProfileConfig{Seed: seed, Spearman: true})
+		profile = foresight.BuildProfileSharded(f,
+			foresight.ProfileConfig{Seed: seed, Spearman: true}, buildShards)
 	}
 	return foresight.NewEngine(f, foresight.NewRegistry(), profile)
 }
@@ -206,7 +208,7 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath)
+	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath, 0)
 	if err != nil {
 		return err
 	}
@@ -330,6 +332,7 @@ func runServe(args []string) error {
 	k := fs.Int("k", 5, "insights per carousel")
 	approx := fs.Bool("approx", false, "answer queries from sketches")
 	workers := fs.Int("workers", 0, "parallel scoring workers (0 = GOMAXPROCS)")
+	buildShards := fs.Int("build-shards", 0, "parallel profile-build shards for preprocessing and large ingest batches (0 = sequential, <0 = GOMAXPROCS)")
 	cache := fs.Bool("cache", true, "memoize insight scores across queries")
 	profilePath := fs.String("profile", "", "load a saved sketch store (implies -approx)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
@@ -343,11 +346,12 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath)
+	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath, *buildShards)
 	if err != nil {
 		return err
 	}
 	engine.SetWorkers(*workers)
+	engine.SetBuildShards(*buildShards)
 	engine.SetCacheEnabled(*cache)
 	srv := server.New(engine, *k, *approx, server.Options{
 		LogWriter:      os.Stderr,

@@ -84,6 +84,7 @@ func runProfile(args []string) error {
 	out := fs.String("out", "", "output profile path")
 	k := fs.Int("k", 0, "hyperplane directions (0 = log²n)")
 	parts := fs.Int("parts", 1, "row partitions (demonstrates mergeable sketches)")
+	shards := fs.Int("shards", 0, "parallel build shards (0 = sequential, <0 = GOMAXPROCS); mutually exclusive with -parts")
 	spearman := fs.Bool("spearman", true, "build rank projections for Spearman estimates")
 	workers := fs.Int("workers", 1, "parallel workers")
 	seed := fs.Int64("seed", 42, "seed")
@@ -97,9 +98,14 @@ func runProfile(args []string) error {
 	}
 	cfg := foresight.ProfileConfig{K: *k, Seed: *seed, Spearman: *spearman, Workers: *workers}
 	var p *foresight.Profile
-	if *parts > 1 {
+	switch {
+	case *parts > 1 && *shards != 0:
+		return fmt.Errorf("profile: -parts and -shards are mutually exclusive")
+	case *parts > 1:
 		p = foresight.BuildProfilePartitioned(f, cfg, *parts)
-	} else {
+	case *shards != 0:
+		p = foresight.BuildProfileSharded(f, cfg, *shards)
+	default:
 		p = foresight.BuildProfile(f, cfg)
 	}
 	file, err := os.Create(*out)

@@ -56,6 +56,7 @@ func main() {
 	k := flag.Int("k", 5, "insights per carousel")
 	approx := flag.Bool("approx", false, "answer queries from sketches")
 	workers := flag.Int("workers", 0, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
+	buildShards := flag.Int("build-shards", 0, "parallel profile-build shards for startup preprocessing and large ingest batches (0 = sequential, <0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "memoize insight scores across queries")
 	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
 	slowMS := flag.Int("slow-ms", 0, "only record request traces at least this slow (0 = record all)")
@@ -67,13 +68,15 @@ func main() {
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	// Sketch build/merge timings surface as a labeled histogram; the
+	// Profile build/merge timings surface as a labeled histogram; the
 	// observer is installed before any profile is built so -approx
-	// preprocessing is captured too.
-	sketchSeconds := reg.HistogramVec("foresight_sketch_seconds",
-		"Sketch build/merge phase latency in seconds.", nil, "op")
+	// preprocessing is captured too. server.New registers the same
+	// histogram (the registry dedupes by name) and re-installs an
+	// equivalent observer, so timings flow to one collector either way.
+	buildSeconds := reg.HistogramVec("foresight_profile_build_seconds",
+		"Profile build/merge phase latency in seconds, by sketch-layer phase.", nil, "phase")
 	sketch.SetTimingObserver(func(op string, d time.Duration) {
-		sketchSeconds.With(op).Observe(d.Seconds())
+		buildSeconds.With(op).Observe(d.Seconds())
 	})
 
 	f, err := loadData(*data, *seed)
@@ -83,13 +86,15 @@ func main() {
 	var profile *foresight.Profile
 	if *approx {
 		log.Printf("preprocessing sketches for %s...", f.Summary())
-		profile = foresight.BuildProfile(f, foresight.ProfileConfig{Seed: *seed, Spearman: true})
+		profile = foresight.BuildProfileSharded(f,
+			foresight.ProfileConfig{Seed: *seed, Spearman: true}, *buildShards)
 	}
 	engine, err := foresight.NewEngine(f, foresight.NewRegistry(), profile)
 	if err != nil {
 		log.Fatalf("foresightd: %v", err)
 	}
 	engine.SetWorkers(*workers)
+	engine.SetBuildShards(*buildShards)
 	engine.SetCacheEnabled(*cache)
 
 	opts := server.Options{

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/sketch"
+)
+
+// E13Config sizes the sharded-build experiment.
+type E13Config struct {
+	Rows, Dims int
+	// Shards are the shard counts to sweep (deduplicated, in order);
+	// defaults to {2, 4, GOMAXPROCS}.
+	Shards []int
+	Seed   int64
+}
+
+// RunE13ShardedBuild measures the data-parallel profile builder
+// (sketch.BuildProfileSharded) against the sequential single-pass
+// build: wall-clock speedup per shard count, plus two correctness
+// gates — shards=0 must reproduce the sequential profile bit for bit,
+// and at every shard count each registered class must score all its
+// candidates approximately within sketch tolerance of the sequential
+// profile (the E12 relative-delta measure).
+//
+// On a single-core machine (GOMAXPROCS=1) real speedup is physically
+// unavailable, so the speedup gate is skipped and noted; the
+// correctness gates always apply.
+func RunE13ShardedBuild(w io.Writer, outDir string, cfg E13Config) error {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 30000
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = 24
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{2, 4, maxProcs}
+	}
+	shards := make([]int, 0, len(cfg.Shards))
+	seen := map[int]bool{}
+	for _, s := range cfg.Shards {
+		if s > 1 && !seen[s] {
+			seen[s] = true
+			shards = append(shards, s)
+		}
+	}
+
+	f := datagen.Scalable(datagen.ScalableConfig{
+		Rows: cfg.Rows, NumericCols: cfg.Dims, CatCols: 2, Seed: cfg.Seed,
+	})
+	pcfg := sketch.ProfileConfig{Seed: cfg.Seed, K: 128}
+
+	// Sequential baseline (best of 2 — first run pays warmup).
+	var sequential *sketch.DatasetProfile
+	seqTime := bestOf2(func() {
+		sequential = sketch.BuildProfile(f, pcfg)
+	})
+
+	// Gate 1: shards=0 is the bit-identical sequential path.
+	var seqBytes, offBytes bytes.Buffer
+	if err := sequential.Save(&seqBytes); err != nil {
+		return err
+	}
+	if err := sketch.BuildProfileSharded(f, pcfg, 0).Save(&offBytes); err != nil {
+		return err
+	}
+	identical := bytes.Equal(seqBytes.Bytes(), offBytes.Bytes())
+
+	// Gate 2 + timing sweep.
+	reg := core.NewRegistry()
+	t := NewTable(fmt.Sprintf("E13: sharded parallel profile build (n=%d, d=%d, GOMAXPROCS=%d)",
+		cfg.Rows, cfg.Dims+2, maxProcs),
+		"shards", "build time", "speedup", "max rel score delta")
+	t.AddRow("1 (sequential)", seqTime.Round(time.Millisecond), "1.0x", "0.0000")
+	const tol = 0.07
+	bestSpeedup, worstDelta := 0.0, 0.0
+	for _, s := range shards {
+		var p *sketch.DatasetProfile
+		elapsed := bestOf2(func() {
+			p = sketch.BuildProfileSharded(f, pcfg, s)
+		})
+		speedup := float64(seqTime) / float64(elapsed)
+		if speedup > bestSpeedup {
+			bestSpeedup = speedup
+		}
+		maxDelta := 0.0
+		for _, c := range reg.Classes() {
+			for _, attrs := range c.Candidates(f) {
+				a, errA := c.ScoreApprox(p, attrs, "")
+				b, errB := c.ScoreApprox(sequential, attrs, "")
+				if errA != nil || errB != nil || math.IsNaN(a.Score) || math.IsNaN(b.Score) {
+					continue
+				}
+				den := math.Max(1, math.Max(math.Abs(a.Score), math.Abs(b.Score)))
+				if d := math.Abs(a.Score-b.Score) / den; d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		if maxDelta > worstDelta {
+			worstDelta = maxDelta
+		}
+		t.AddRow(s, elapsed.Round(time.Millisecond),
+			fmt.Sprintf("%.1fx", speedup), fmt.Sprintf("%.4f", maxDelta))
+	}
+	t.Print(w)
+
+	ok := true
+	if !identical {
+		ok = false
+		fmt.Fprintln(w, "WARNING: shards=0 did not reproduce the sequential profile bit for bit.")
+	}
+	if worstDelta > tol {
+		ok = false
+		fmt.Fprintf(w, "WARNING: sharded profile diverges from sequential: max relative score delta %.4f > %.2f.\n", worstDelta, tol)
+	}
+	if maxProcs == 1 {
+		fmt.Fprintln(w, "note: GOMAXPROCS=1 — wall-clock speedup unavailable on this machine; speedup gate skipped.")
+	} else if bestSpeedup < 1 {
+		ok = false
+		fmt.Fprintf(w, "WARNING: sharded build never beat sequential (best %.2fx) with %d procs.\n", bestSpeedup, maxProcs)
+	}
+	if ok {
+		fmt.Fprintf(w, "sharded build: best %.1fx vs sequential, shards=0 bit-identical, scores within %.2f at every shard count.\n",
+			bestSpeedup, tol)
+	}
+	return t.WriteTSV(outDir, "e13_sharded_build")
+}
+
+// bestOf2 runs fn twice and returns the faster wall time.
+func bestOf2(fn func()) time.Duration {
+	a := timeIt(fn)
+	if b := timeIt(fn); b < a {
+		return b
+	}
+	return a
+}

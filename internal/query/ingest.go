@@ -18,6 +18,13 @@ import (
 // before the swap sees the old dataset and every query after sees the
 // new one.
 
+// shardedIngestMinRows is the batch size below which the sharded
+// delta build is not worth its goroutine and channel setup; small
+// batches (the common streaming case) keep the sequential delta even
+// when the engine has build shards configured. Two direction blocks
+// is the smallest append the sharded path can split anyway.
+const shardedIngestMinRows = 8192
+
 // IngestResult reports one applied ingest batch.
 type IngestResult struct {
 	// RowsAppended is the number of rows in the applied batch.
@@ -63,7 +70,12 @@ func (e *Engine) Ingest(ctx context.Context, batch frame.RowBatch, opts *frame.R
 	var p2 *sketch.DatasetProfile
 	if snap.profile != nil {
 		endDelta := obs.StartSpan(ctx, "ingest:delta")
-		p2, err = snap.profile.Extend(f2)
+		newRows := f2.Rows() - snap.frame.Rows()
+		if shards := e.BuildShards(); shards != 0 && newRows >= shardedIngestMinRows {
+			p2, err = snap.profile.ExtendSharded(f2, shards)
+		} else {
+			p2, err = snap.profile.Extend(f2)
+		}
 		endDelta()
 		if err != nil {
 			return IngestResult{}, err

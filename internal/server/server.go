@@ -38,6 +38,7 @@ import (
 	"foresight/internal/core"
 	"foresight/internal/obs"
 	"foresight/internal/query"
+	"foresight/internal/sketch"
 	"foresight/internal/viz"
 )
 
@@ -161,6 +162,17 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 	s.sheds = reg.Counter("foresight_http_sheds_total",
 		"Requests shed by the max-inflight gate (returned as 503).")
 	engine.Instrument(reg)
+	// Profile build/merge phase timings (sketch layer's process-wide
+	// observer) land in the same registry, so sharded ingest rebuilds
+	// show their shard/merge breakdown at /metrics. The registry
+	// dedupes by name: a binary that registered the histogram earlier
+	// (foresightd does, to catch startup preprocessing) shares the
+	// collector with us.
+	buildSeconds := reg.HistogramVec("foresight_profile_build_seconds",
+		"Profile build/merge phase latency in seconds, by sketch-layer phase.", nil, "phase")
+	sketch.SetTimingObserver(func(op string, d time.Duration) {
+		buildSeconds.With(op).Observe(d.Seconds())
+	})
 	reg.GaugeFunc("foresight_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("go_goroutines", "Number of goroutines.",

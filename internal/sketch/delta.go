@@ -80,6 +80,22 @@ func cloneReservoir(s *Reservoir) *Reservoir {
 // row-incrementally.
 func (p *DatasetProfile) Extend(f *frame.Frame) (*DatasetProfile, error) {
 	defer observeSince("extend", time.Now())
+	return p.extend(f, 1)
+}
+
+// ExtendSharded is Extend with the delta profile over the appended
+// rows built by the sharded data-parallel path (BuildProfileSharded's
+// machinery), worthwhile for large batch appends. Shard counts follow
+// the uniform convention: 0 or 1 is the sequential delta build —
+// identical to Extend — and negative means GOMAXPROCS. Appends
+// spanning at most one direction block fall back to the sequential
+// delta regardless.
+func (p *DatasetProfile) ExtendSharded(f *frame.Frame, shards int) (*DatasetProfile, error) {
+	defer observeSince("extend.sharded", time.Now())
+	return p.extend(f, resolveShards(shards))
+}
+
+func (p *DatasetProfile) extend(f *frame.Frame, shards int) (*DatasetProfile, error) {
 	old := p.Rows
 	if f.Rows() < old {
 		return nil, fmt.Errorf("sketch: extend: frame has %d rows, profile covers %d", f.Rows(), old)
@@ -116,7 +132,12 @@ func (p *DatasetProfile) Extend(f *frame.Frame) (*DatasetProfile, error) {
 
 	cfg := out.Config
 	cfg.Spearman = false
-	delta := buildPartitionProfile(f, cfg, old, f.Rows(), centers)
+	var delta *DatasetProfile
+	if shards > 1 {
+		delta = shardedPartial(f, cfg, old, f.Rows(), centers, shards)
+	} else {
+		delta = buildPartitionProfile(f, cfg, old, f.Rows(), centers)
+	}
 	if err := out.Merge(delta); err != nil {
 		return nil, err
 	}

@@ -152,9 +152,10 @@ type ProjectConfig struct {
 	// (memory = BlockRows·K·4 bytes). Defaults to 4096 when ≤ 0.
 	BlockRows int
 	// Workers parallelizes the per-column accumulation inside each
-	// row block (< 2 = sequential). Direction generation stays
-	// sequential so the directions — and therefore the sketches — are
-	// identical at any worker count.
+	// row block (0 or 1 = sequential, < 0 = GOMAXPROCS, n > 1 = n
+	// goroutines — the sketch layer's uniform convention). Direction
+	// generation stays sequential so the directions — and therefore
+	// the sketches — are identical at any worker count.
 	Workers int
 }
 

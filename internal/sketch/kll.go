@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // KLL is the Karnin–Lang–Liberty quantile sketch: a single-pass,
@@ -74,13 +75,25 @@ func (s *KLL) UpdateAll(xs []float64) {
 	}
 }
 
+// kllScratch pools the transient buffers that hold a compaction's
+// promoted half before it is copied into the next level. Compactions
+// are frequent and short-lived, and the sharded profile builder runs
+// many sketches' compactions concurrently, so pooling keeps the
+// allocator out of the hot path. Buffers are only ever held within a
+// single compress call, so the pool is safe at any concurrency.
+var kllScratch = sync.Pool{New: func() any { return new([]float64) }}
+
 func (s *KLL) compress() {
 	for h := 0; h < len(s.compactors); h++ {
 		if len(s.compactors[h]) >= s.capacity(h) {
 			if h+1 >= len(s.compactors) {
 				s.grow()
 			}
-			s.compactors[h+1] = append(s.compactors[h+1], s.compactLevel(h)...)
+			bufp := kllScratch.Get().(*[]float64)
+			promoted := s.compactLevel(h, (*bufp)[:0])
+			s.compactors[h+1] = append(s.compactors[h+1], promoted...)
+			*bufp = promoted[:0]
+			kllScratch.Put(bufp)
 			s.recount()
 			if s.size < s.maxSize {
 				return
@@ -89,21 +102,22 @@ func (s *KLL) compress() {
 	}
 }
 
-// compactLevel sorts level h and promotes a random half, clearing the
-// level. The survivors double their implicit weight.
-func (s *KLL) compactLevel(h int) []float64 {
+// compactLevel sorts level h, appends a random half to buf (the
+// survivors double their implicit weight), and clears the level. The
+// returned slice is valid until buf's next reuse; callers copy it out
+// before returning the buffer to the pool.
+func (s *KLL) compactLevel(h int, buf []float64) []float64 {
 	items := s.compactors[h]
 	sort.Float64s(items)
 	offset := 0
 	if s.rng.Intn(2) == 1 {
 		offset = 1
 	}
-	promoted := make([]float64, 0, (len(items)+1)/2)
 	for i := offset; i < len(items); i += 2 {
-		promoted = append(promoted, items[i])
+		buf = append(buf, items[i])
 	}
 	s.compactors[h] = s.compactors[h][:0]
-	return promoted
+	return buf
 }
 
 func (s *KLL) recount() {

@@ -135,10 +135,16 @@ func mergeReservoirs(a, b *Reservoir, seed int64) *Reservoir {
 	return out
 }
 
-// buildPartitionProfile builds the partial profile of rows
-// [start, end) of f, centering projections by the provided global
-// means so partials are merge-compatible.
-func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, means map[string]float64) *DatasetProfile {
+// buildRangeSketches builds the row-local partial sketches of rows
+// [start, end) of f: moments, quantiles, value samples, heavy hitters
+// and distinct counts — everything in a partial profile except the
+// shared-direction projections, which need global centering and are
+// filled in by the caller. Zero-copy row views feed the update loops,
+// so a shard touches only its own window of each column. Per-column
+// sketch seeds are salted with the range start, so a given
+// (cfg, partitioning) is deterministic while distinct ranges draw
+// independent compaction/sampling coins.
+func buildRangeSketches(f *frame.Frame, cfg ProfileConfig, start, end int) *DatasetProfile {
 	p := &DatasetProfile{
 		Rows:        end - start,
 		Numeric:     make(map[string]*NumericProfile),
@@ -146,17 +152,13 @@ func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, me
 		RowSample:   &RowSample{},
 		Config:      cfg,
 	}
-	numeric := f.NumericColumns()
-	cols := make([][]float64, len(numeric))
-	colMeans := make([]float64, len(numeric))
-	for i, nc := range numeric {
+	for i, nc := range f.NumericColumns() {
 		np := &NumericProfile{
 			Name:      nc.Name(),
 			Quantiles: NewKLL(cfg.KLLSize, cfg.Seed+int64(i)*7+2+int64(start)),
 			Sample:    NewReservoir(cfg.SampleSize, cfg.Seed+int64(i)*7+3+int64(start)),
 		}
-		for r := start; r < end; r++ {
-			v := nc.At(r)
+		for _, v := range nc.ValuesRange(start, end) {
 			if math.IsNaN(v) {
 				continue
 			}
@@ -164,17 +166,7 @@ func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, me
 			np.Quantiles.Update(v)
 			np.Sample.Update(v)
 		}
-		cols[i] = nc.Values()
-		colMeans[i] = means[nc.Name()]
 		p.Numeric[nc.Name()] = np
-	}
-	projections := projectColumnsRange(cols, colMeans, f.Rows(), start, end,
-		ProjectConfig{K: cfg.K, Seed: cfg.Seed + 101, Workers: cfg.Workers})
-	for i, nc := range numeric {
-		np := p.Numeric[nc.Name()]
-		np.Proj = projections[i]
-		np.ProjCenter = colMeans[i]
-		np.Planes = HyperplaneFromProjection(projections[i])
 	}
 	for _, cc := range f.CategoricalColumns() {
 		cp := &CategoricalProfile{
@@ -185,8 +177,7 @@ func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, me
 			Dict:        cc.Dict(),
 		}
 		dict := cc.Dict()
-		for r := start; r < end; r++ {
-			code := cc.Codes()[r]
+		for _, code := range cc.CodesRange(start, end) {
 			if code < 0 {
 				continue
 			}
@@ -196,6 +187,29 @@ func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, me
 			cp.Rows++
 		}
 		p.Categorical[cc.Name()] = cp
+	}
+	return p
+}
+
+// buildPartitionProfile builds the partial profile of rows
+// [start, end) of f, centering projections by the provided global
+// means so partials are merge-compatible.
+func buildPartitionProfile(f *frame.Frame, cfg ProfileConfig, start, end int, means map[string]float64) *DatasetProfile {
+	p := buildRangeSketches(f, cfg, start, end)
+	numeric := f.NumericColumns()
+	cols := make([][]float64, len(numeric))
+	colMeans := make([]float64, len(numeric))
+	for i, nc := range numeric {
+		cols[i] = nc.Values()
+		colMeans[i] = means[nc.Name()]
+	}
+	projections := projectColumnsRange(cols, colMeans, f.Rows(), start, end,
+		ProjectConfig{K: cfg.K, Seed: cfg.Seed + 101, Workers: cfg.Workers})
+	for i, nc := range numeric {
+		np := p.Numeric[nc.Name()]
+		np.Proj = projections[i]
+		np.ProjCenter = colMeans[i]
+		np.Planes = HyperplaneFromProjection(projections[i])
 	}
 	return p
 }

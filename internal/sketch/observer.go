@@ -21,7 +21,15 @@ import (
 //	build.spearman     the rank projections (when enabled)
 //	build.categorical  the categorical sketch pass
 //	build.partitioned  one full BuildProfilePartitioned pass
+//	build.sharded      one full BuildProfileSharded pass
+//	build.shard        the concurrent per-shard sketch phase
+//	build.merge        the shard partials' tree reduction
+//	extend             one DatasetProfile.Extend call
+//	extend.sharded     one DatasetProfile.ExtendSharded call
 //	merge              one DatasetProfile.Merge call
+//
+// (build.project and build.spearman are reported by the sharded
+// builder too, timing its pipelined projection phases.)
 
 // TimingFunc receives one timed sketch operation.
 type TimingFunc func(op string, d time.Duration)

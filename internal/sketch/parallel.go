@@ -6,10 +6,19 @@ import (
 )
 
 // eachColumn runs fn(i) for i in [0, n), fanning out over a worker
-// pool when workers > 1 (0 selects GOMAXPROCS when negative — by
-// convention 0 means sequential, matching the paper's single-threaded
-// measurements). fn must only touch state owned by column i, which
-// makes results identical at any worker count.
+// pool. Worker-count semantics are uniform across the sketch layer
+// (ProfileConfig.Workers, ProjectConfig.Workers and every internal
+// parallel loop):
+//
+//	workers == 0 or 1   sequential (the paper's own measurements are
+//	                    single-threaded, so sequential is the default)
+//	workers < 0         GOMAXPROCS
+//	workers > 1         that many goroutines
+//
+// fn must only touch state owned by index i, which makes results
+// identical at any worker count. Despite the name, any independent
+// index space may fan out through here — the sharded builder uses it
+// for row shards and merge pairs too.
 func eachColumn(n, workers int, fn func(i int)) {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -37,9 +37,12 @@ type ProfileConfig struct {
 	Spearman bool
 	// Workers parallelizes the per-column sketch passes and the
 	// projection inner loops (the paper's future-work "parallel
-	// search" extension applied to preprocessing). Values < 2 build
-	// sequentially; 0 is sequential too (the paper's own measurement
-	// is single-threaded). Results are identical at any worker count.
+	// search" extension applied to preprocessing). The convention is
+	// uniform across the sketch layer: 0 or 1 builds sequentially (the
+	// paper's own measurement is single-threaded), negative selects
+	// GOMAXPROCS, and n > 1 uses n goroutines. Results are identical
+	// at any worker count. For row-parallel (not just column-parallel)
+	// builds see BuildProfileSharded.
 	Workers int
 }
 
@@ -205,7 +208,10 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 	}
 
 	catStart := time.Now()
-	for _, cc := range f.CategoricalColumns() {
+	categorical := f.CategoricalColumns()
+	catProfiles := make([]*CategoricalProfile, len(categorical))
+	eachColumn(len(categorical), cfg.Workers, func(i int) {
+		cc := categorical[i]
 		cp := &CategoricalProfile{
 			Name:     cc.Name(),
 			Heavy:    NewSpaceSaving(cfg.HeavyCapacity),
@@ -224,7 +230,10 @@ func BuildProfile(f *frame.Frame, cfg ProfileConfig) *DatasetProfile {
 		cp.RowSampleCodes = p.RowSample.GatherCodes(cc.Codes())
 		cp.Cardinality = cc.Cardinality()
 		cp.Dict = cc.Dict()
-		p.Categorical[cc.Name()] = cp
+		catProfiles[i] = cp
+	})
+	for i, cc := range categorical {
+		p.Categorical[cc.Name()] = catProfiles[i]
 	}
 	observeSince("build.categorical", catStart)
 	return p

@@ -1,0 +1,375 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"foresight/internal/frame"
+	"foresight/internal/stats"
+)
+
+// Sharded data-parallel preprocessing: BuildProfilePartitioned proves
+// the §3 merge operators are correct, but it builds partitions one
+// after another. This file makes the same decomposition fast — the
+// frame's row range is split into contiguous shards, partial profiles
+// build concurrently over zero-copy row views, and the partials
+// reduce through the merge operators in a fixed binary-tree order, so
+// the result is reproducible given (frame, cfg, shards).
+//
+// The delicate part is the projection pass. All shards must consume
+// the *same* Gaussian direction stream (one direction vector per
+// global row, generated sequentially from the seed), or their
+// Projections would not be summable. A single producer goroutine
+// generates direction blocks in stream order and hands each block to
+// the one shard that owns it; shard interiors are aligned to block
+// boundaries so no block straddles two shards. Generation (~n·k
+// Gaussian draws) pipelines with accumulation (~n·k·d multiply-adds
+// across shards), so wall time approaches
+// max(generate, accumulate/shards) instead of their sum.
+
+// resolveShards applies the sketch layer's uniform parallelism
+// convention to a shard count: 0 and 1 mean sequential, negative
+// means GOMAXPROCS.
+func resolveShards(shards int) int {
+	if shards < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
+}
+
+// shardBounds splits rows [lo, hi) into at most `shards` contiguous
+// ranges. Interior boundaries align to the projection pass's
+// direction blocks — multiples of blockRows counted from global row 0
+// — so each direction block is consumed by exactly one shard. Empty
+// ranges are dropped; fewer than `shards` ranges come back when the
+// span covers fewer blocks than shards.
+func shardBounds(lo, hi, shards, blockRows int) [][2]int {
+	if hi <= lo {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	firstBlock := lo / blockRows
+	lastBlock := (hi + blockRows - 1) / blockRows
+	nBlocks := lastBlock - firstBlock
+	if shards > nBlocks {
+		shards = nBlocks
+	}
+	bounds := make([][2]int, 0, shards)
+	for p := 0; p < shards; p++ {
+		bs := firstBlock + p*nBlocks/shards
+		be := firstBlock + (p+1)*nBlocks/shards
+		if be == bs {
+			continue
+		}
+		start := bs * blockRows
+		if start < lo {
+			start = lo
+		}
+		end := be * blockRows
+		if end > hi {
+			end = hi
+		}
+		if end > start {
+			bounds = append(bounds, [2]int{start, end})
+		}
+	}
+	return bounds
+}
+
+// gaussBlock is one row block of the shared Gaussian direction
+// stream: nb·K row-major float32 draws covering global rows
+// [start, start+nb). The buffer is pooled; the consumer returns it
+// after accumulating.
+type gaussBlock struct {
+	start int
+	nb    int
+	buf   *[]float32
+}
+
+// shardedProjections computes, for every shard range in bounds, the
+// per-column Projections of that shard's rows — using direction
+// vectors identical to what ProjectColumns would generate for the
+// whole frame, so shard Projections sum to the sequential result up
+// to floating-point associativity. One producer generates direction
+// blocks in stream order from a single rng (determinism) and routes
+// each block to its owning shard's channel; shard consumers
+// accumulate concurrently. Returned as out[shard][column].
+func shardedProjections(cols [][]float64, means []float64, totalRows int, bounds [][2]int, cfg ProjectConfig) [][]*Projection {
+	cfg.fill()
+	d := len(cols)
+	out := make([][]*Projection, len(bounds))
+	for p := range out {
+		out[p] = make([]*Projection, d)
+		for j := range out[p] {
+			out[p][j] = &Projection{
+				Dots: make([]float64, cfg.K),
+				Rows: bounds[p][1] - bounds[p][0],
+				Seed: cfg.Seed,
+			}
+		}
+	}
+	if d == 0 || len(bounds) == 0 || totalRows == 0 {
+		return out
+	}
+	lo, hi := bounds[0][0], bounds[len(bounds)-1][1]
+
+	pool := sync.Pool{New: func() any {
+		s := make([]float32, cfg.BlockRows*cfg.K)
+		return &s
+	}}
+	chans := make([]chan gaussBlock, len(bounds))
+	for p := range chans {
+		// Small buffer: lets the producer run ahead a little without
+		// letting memory grow past O(shards·BlockRows·K).
+		chans[p] = make(chan gaussBlock, 2)
+	}
+
+	go func() {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		owner := 0
+		for bs := 0; bs < totalRows && bs < hi; bs += cfg.BlockRows {
+			be := bs + cfg.BlockRows
+			if be > totalRows {
+				be = totalRows
+			}
+			nb := be - bs
+			bufp := pool.Get().(*[]float32)
+			buf := (*bufp)[:nb*cfg.K]
+			for i := range buf {
+				buf[i] = float32(rng.NormFloat64())
+			}
+			if be <= lo {
+				// Before the range: draws consumed to keep the stream
+				// aligned, but no shard needs the block.
+				pool.Put(bufp)
+				continue
+			}
+			first := bs
+			if first < lo {
+				first = lo
+			}
+			for owner < len(bounds) && bounds[owner][1] <= first {
+				owner++
+			}
+			chans[owner] <- gaussBlock{start: bs, nb: nb, buf: bufp}
+		}
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := range bounds {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			start, end := bounds[p][0], bounds[p][1]
+			for blk := range chans[p] {
+				buf := (*blk.buf)[:blk.nb*cfg.K]
+				rlo, rhi := blk.start, blk.start+blk.nb
+				if rlo < start {
+					rlo = start
+				}
+				if rhi > end {
+					rhi = end
+				}
+				for j := 0; j < d; j++ {
+					col := cols[j]
+					dots := out[p][j].Dots
+					mean := means[j]
+					for r := rlo; r < rhi && r < len(col); r++ {
+						v := col[r]
+						if math.IsNaN(v) {
+							continue // mean-imputed: centered value is 0
+						}
+						v -= mean
+						if v == 0 {
+							continue
+						}
+						g := buf[(r-blk.start)*cfg.K : (r-blk.start+1)*cfg.K]
+						for q, gv := range g {
+							dots[q] += v * float64(gv)
+						}
+					}
+				}
+				pool.Put(blk.buf)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// mergeProfileTree reduces shard partials with the §3 merge operators
+// in a fixed binary-tree order: in each round, the partial at index i
+// absorbs the partial `stride` to its right, and the stride doubles.
+// The reduction order depends only on len(parts), so the result is
+// reproducible; pairs within a round are independent and merge
+// concurrently. parts is consumed.
+func mergeProfileTree(parts []*DatasetProfile, workers int) *DatasetProfile {
+	if len(parts) == 0 {
+		return nil
+	}
+	for stride := 1; stride < len(parts); stride *= 2 {
+		var pairs [][2]int
+		for i := 0; i+stride < len(parts); i += 2 * stride {
+			pairs = append(pairs, [2]int{i, i + stride})
+		}
+		eachColumn(len(pairs), workers, func(j int) {
+			dst, src := pairs[j][0], pairs[j][1]
+			if err := parts[dst].Merge(parts[src]); err != nil {
+				// Shard partials are constructed compatible by this file;
+				// a mismatch is a programming error.
+				panic(err)
+			}
+		})
+	}
+	return parts[0]
+}
+
+// shardedPartial builds the partial profile of rows [lo, hi) using
+// `shards` concurrent shard builders and a tree reduction —
+// semantically the same partial buildPartitionProfile produces for
+// the range, which it falls back to when the range spans at most one
+// direction block. Projections are centered by the provided global
+// means. The caller rebuilds row samples; Spearman rank projections
+// (a global transform) are the caller's concern too.
+func shardedPartial(f *frame.Frame, cfg ProfileConfig, lo, hi int, means map[string]float64, shards int) *DatasetProfile {
+	projCfg := ProjectConfig{K: cfg.K, Seed: cfg.Seed + 101, Workers: cfg.Workers}
+	projCfg.fill()
+	bounds := shardBounds(lo, hi, shards, projCfg.BlockRows)
+	if len(bounds) <= 1 {
+		return buildPartitionProfile(f, cfg, lo, hi, means)
+	}
+
+	// Phase 1 — row-local sketches, one goroutine per shard.
+	shardStart := time.Now()
+	parts := make([]*DatasetProfile, len(bounds))
+	eachColumn(len(bounds), shards, func(p int) {
+		parts[p] = buildRangeSketches(f, cfg, bounds[p][0], bounds[p][1])
+	})
+	observeSince("build.shard", shardStart)
+
+	// Phase 2 — shared-direction projections, pipelined across shards.
+	projStart := time.Now()
+	numeric := f.NumericColumns()
+	cols := make([][]float64, len(numeric))
+	colMeans := make([]float64, len(numeric))
+	for i, nc := range numeric {
+		cols[i] = nc.Values()
+		colMeans[i] = means[nc.Name()]
+	}
+	shardProj := shardedProjections(cols, colMeans, f.Rows(), bounds, projCfg)
+	for p := range parts {
+		for i, nc := range numeric {
+			np := parts[p].Numeric[nc.Name()]
+			np.Proj = shardProj[p][i]
+			np.ProjCenter = colMeans[i]
+			np.Planes = HyperplaneFromProjection(np.Proj)
+		}
+	}
+	observeSince("build.project", projStart)
+
+	// Phase 3 — deterministic tree reduction.
+	mergeStart := time.Now()
+	merged := mergeProfileTree(parts, shards)
+	observeSince("build.merge", mergeStart)
+	return merged
+}
+
+// BuildProfileSharded is BuildProfile with the row range split into
+// `shards` contiguous shards built concurrently and reduced with the
+// §3 merge operators (see the file comment). The result is
+// reproducible given (frame, cfg, shards) — reduction order is a
+// fixed tree — and agrees with BuildProfile on every exact statistic
+// (moments, row counts, cardinalities) while sketch-derived scores
+// drift only within sketch error (benchmarked in E13). Shard counts
+// follow the uniform convention: 0 or 1 delegates to BuildProfile —
+// the bit-identical sequential path — and negative means GOMAXPROCS
+// (reproducible per machine).
+func BuildProfileSharded(f *frame.Frame, cfg ProfileConfig, shards int) *DatasetProfile {
+	shards = resolveShards(shards)
+	if shards <= 1 || f.Rows() == 0 {
+		return BuildProfile(f, cfg)
+	}
+	defer observeSince("build.sharded", time.Now())
+	cfg.fill(f.Rows())
+
+	// Global means (cheap first pass, parallel across columns): every
+	// shard centers projections by the same value so partials stay
+	// merge-compatible (DatasetProfile.Merge enforces this).
+	numeric := f.NumericColumns()
+	meanByCol := make([]float64, len(numeric))
+	eachColumn(len(numeric), shards, func(i int) {
+		meanByCol[i] = stats.Mean(numeric[i].Values())
+	})
+	means := make(map[string]float64, len(numeric))
+	for i, nc := range numeric {
+		means[nc.Name()] = meanByCol[i]
+	}
+
+	merged := shardedPartial(f, cfg, 0, f.Rows(), means, shards)
+
+	// Spearman rank projections: ranking is a global transform, so the
+	// rank columns are computed once and projected sharded; the shard
+	// Projections fold left-to-right (deterministic) into the merged
+	// profile directly.
+	if cfg.Spearman && len(numeric) > 0 {
+		spearmanStart := time.Now()
+		rankCols := make([][]float64, len(numeric))
+		rankMeans := make([]float64, len(numeric))
+		eachColumn(len(numeric), shards, func(i int) {
+			rankCols[i] = stats.Ranks(numeric[i].Values())
+			rankMeans[i] = stats.Mean(rankCols[i])
+		})
+		rankCfg := ProjectConfig{K: cfg.K, Seed: cfg.Seed + 211, Workers: cfg.Workers}
+		rankCfg.fill()
+		rankBounds := shardBounds(0, f.Rows(), shards, rankCfg.BlockRows)
+		rankShard := shardedProjections(rankCols, rankMeans, f.Rows(), rankBounds, rankCfg)
+		for i, nc := range numeric {
+			np := merged.Numeric[nc.Name()]
+			total := rankShard[0][i]
+			for p := 1; p < len(rankShard); p++ {
+				if err := total.Merge(rankShard[p][i]); err != nil {
+					panic(err)
+				}
+			}
+			np.RankProj = total
+			np.RankPlanes = HyperplaneFromProjection(total)
+		}
+		observeSince("build.spearman", spearmanStart)
+	}
+
+	// Rebuild the global row sample and per-column gathers (they index
+	// global rows, so shard-local versions are not mergeable), and the
+	// per-column value reservoirs: merging shard reservoirs yields a
+	// valid uniform sample but a *different* one than the sequential
+	// pass, and sample-driven scores (outlier mean distance, dip) are
+	// noisy enough that the resample shows up as score drift. The whole
+	// column is in memory, so an O(n) replay with the sequential
+	// builder's seed reproduces its reservoir bit for bit instead.
+	merged.RowSample = NewRowSample(f.Rows(), cfg.RowSampleSize, cfg.Seed+1)
+	eachColumn(len(numeric), shards, func(i int) {
+		np := merged.Numeric[numeric[i].Name()]
+		np.RowSampleValues = merged.RowSample.GatherFloats(numeric[i].Values())
+		sample := NewReservoir(cfg.SampleSize, cfg.Seed+int64(i)*7+3)
+		for _, v := range numeric[i].Values() {
+			if !math.IsNaN(v) {
+				sample.Update(v)
+			}
+		}
+		np.Sample = sample
+	})
+	categorical := f.CategoricalColumns()
+	eachColumn(len(categorical), shards, func(i int) {
+		merged.Categorical[categorical[i].Name()].RowSampleCodes =
+			merged.RowSample.GatherCodes(categorical[i].Codes())
+	})
+	merged.Rows = f.Rows()
+	return merged
+}
