@@ -5,9 +5,9 @@
 // (E8), the memoized-cache serving experiment (E9), the
 // observability-overhead guardrail (E10), the request-cancellation
 // experiment (E11), the streaming-ingest experiment (E12), the
-// sharded-parallel-build experiment (E13), and the sketch-parameter
-// ablations. Results print to stdout and, with -out,
-// land as TSV/SVG artifacts.
+// sharded-parallel-build experiment (E13), the insight-telemetry
+// overhead experiment (E14), and the sketch-parameter ablations.
+// Results print to stdout and, with -out, land as TSV/SVG artifacts.
 //
 // Usage:
 //
@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,e13,ablations")
+	exp := flag.String("exp", "all", "comma-separated experiments: e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14,ablations")
 	out := flag.String("out", "", "directory for TSV/SVG artifacts (empty = stdout only)")
 	full := flag.Bool("full", false, "paper-scale sizes (n=100K, d up to 200; slower)")
 	seed := flag.Int64("seed", 42, "experiment seed")
@@ -131,6 +131,13 @@ func main() {
 			c = bench.E13Config{Rows: 100000, Dims: 64, Seed: *seed}
 		}
 		return bench.RunE13ShardedBuild(w, *out, c)
+	})
+	run("e14", func() error {
+		rows14, dims14 := 20000, 32
+		if *full {
+			rows14, dims14 = 100000, 64
+		}
+		return bench.RunE14TelemetryOverhead(w, *out, bench.E14Config{Rows: rows14, Dims: dims14, Seed: *seed})
 	})
 	run("ablations", func() error { return bench.RunAllAblations(w, *out, *seed) })
 

@@ -11,6 +11,7 @@
 //	foresight overview  -data file.csv [-class linear] [-svg out.svg]
 //	foresight render    -data file.csv -class linear -attrs x,y -svg out.svg
 //	foresight serve     -data file.csv [-addr :8600] [-workers 0] [-cache]
+//	foresight top       [-addr http://localhost:8600] [-interval 2s] [-once]
 //	foresight demo      -name oecd|parkinson|imdb -out file.csv
 //
 // -data accepts a CSV path or the names oecd, parkinson, imdb for the
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"foresight"
+	"foresight/internal/obs"
 	"foresight/internal/server"
 )
 
@@ -55,6 +57,8 @@ func main() {
 		err = runDemo(args)
 	case "serve":
 		err = runServe(args)
+	case "top":
+		err = runTop(args)
 	case "report":
 		err = runReport(args)
 	case "profile":
@@ -84,6 +88,7 @@ commands:
   report     self-contained HTML report (carousels + overview)
   profile    build and persist a sketch store (-parts partitioned, -shards parallel)
   serve      start the demo web server (same UI as foresightd)
+  top        live insight-telemetry dashboard for a running server
   demo       write a synthetic demo dataset as CSV
 
 run 'foresight <command> -h' for per-command flags`)
@@ -338,6 +343,7 @@ func runServe(args []string) error {
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
 	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request API deadline (0 = none)")
 	maxInflight := fs.Int("max-inflight", 256, "max concurrently served API requests (0 = unlimited)")
+	queryLogSample := fs.Float64("query-log-sample", 0, "fraction of engine queries logged as structured JSON telemetry lines (0 = off)")
 	_ = fs.Parse(args)
 	if *profilePath != "" {
 		*approx = true
@@ -353,12 +359,17 @@ func runServe(args []string) error {
 	engine.SetWorkers(*workers)
 	engine.SetBuildShards(*buildShards)
 	engine.SetCacheEnabled(*cache)
+	reg := obs.NewRegistry()
+	obs.SetBuildInfo(reg, "foresight-cli")
 	srv := server.New(engine, *k, *approx, server.Options{
+		Registry:       reg,
 		LogWriter:      os.Stderr,
+		Version:        "foresight-cli",
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
+		QueryLogSample: *queryLogSample,
 	})
-	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats)\n",
+	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats, /api/debug/insights)\n",
 		f.Summary(), *addr, engine.Workers(), *cache)
 
 	// Same lifecycle discipline as cmd/foresightd: listener timeouts

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"foresight/internal/obs/telemetry"
+)
+
+// topStats is the slice of /api/stats the dashboard needs.
+type topStats struct {
+	Cache struct {
+		Hits       uint64 `json:"hits"`
+		Misses     uint64 `json:"misses"`
+		Entries    int    `json:"entries"`
+		Generation uint64 `json:"generation"`
+	} `json:"cache"`
+	Workers int            `json:"workers"`
+	UptimeS float64        `json:"uptime_s"`
+	Build   map[string]any `json:"build"`
+}
+
+// runTop renders a live text dashboard over a running server's
+// /api/debug/insights and /api/stats endpoints — Foresight observing
+// itself through its own sketches.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8600", "base URL of a running foresightd / foresight serve")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	topN := fs.Int("top", 5, "hot columns/pairs per class")
+	_ = fs.Parse(args)
+
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for {
+		var snap telemetry.Snapshot
+		if err := fetchJSON(ctx, client, fmt.Sprintf("%s/api/debug/insights?top=%d", base, *topN), &snap); err != nil {
+			return fmt.Errorf("fetching %s/api/debug/insights: %w", base, err)
+		}
+		var stats topStats
+		if err := fetchJSON(ctx, client, base+"/api/stats", &stats); err != nil {
+			return fmt.Errorf("fetching %s/api/stats: %w", base, err)
+		}
+		frame := renderTop(snap, stats, *topN)
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Clear screen + home, then the frame, like top(1).
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func fetchJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, res.StatusCode)
+	}
+	return json.NewDecoder(res.Body).Decode(out)
+}
+
+// renderTop formats one dashboard frame. It is pure (no I/O, no
+// clock) so tests can pin the layout.
+func renderTop(snap telemetry.Snapshot, stats topStats, topN int) string {
+	var b strings.Builder
+	version, _ := stats.Build["version"].(string)
+	if version == "" {
+		version = "?"
+	}
+	staleness := "live"
+	if snap.Stale {
+		staleness = fmt.Sprintf("STALE (sketches gen %d, engine gen %d)",
+			snap.Generation, snap.CurrentGeneration)
+	}
+	fmt.Fprintf(&b, "foresight top — %s  up %s  workers=%d  gen=%d [%s]\n",
+		version, formatUptime(stats.UptimeS), stats.Workers, snap.CurrentGeneration, staleness)
+	fmt.Fprintf(&b, "queries=%d  resets=%d  stale_samples=%d  cache hits=%d misses=%d entries=%d  ε=±%.3f\n",
+		snap.TotalQueries, snap.Resets, snap.StaleSamples,
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Entries, snap.ScoreRankError)
+
+	if len(snap.Classes) == 0 {
+		b.WriteString("\nno insight telemetry yet — issue a query against the server\n")
+	} else {
+		classW := len("CLASS")
+		for _, c := range snap.Classes {
+			if len(c.Class) > classW {
+				classW = len(c.Class)
+			}
+		}
+		fmt.Fprintf(&b, "\n%-*s %8s %9s %8s %8s %7s %7s %7s  %s\n",
+			classW, "CLASS", "QUERIES", "CANDS", "PRUNED", "EMITTED", "P50", "P90", "P99", "MARGIN TREND")
+		for _, c := range snap.Classes {
+			fmt.Fprintf(&b, "%-*s %8d %9d %8d %8d %7s %7s %7s  %s\n",
+				classW, c.Class, c.Queries, c.Candidates, c.Pruned, c.Emitted,
+				formatQuantile(c.Quantiles, "p50"),
+				formatQuantile(c.Quantiles, "p90"),
+				formatQuantile(c.Quantiles, "p99"),
+				sparkline(marginValues(c.Margins)))
+		}
+		b.WriteString("\nHOT COLUMNS\n")
+		for _, c := range snap.Classes {
+			if len(c.HotColumns) == 0 {
+				continue
+			}
+			items := c.HotColumns
+			if topN > 0 && len(items) > topN {
+				items = items[:topN]
+			}
+			parts := make([]string, len(items))
+			for i, h := range items {
+				parts[i] = fmt.Sprintf("%s(%d)", h.Item, h.Count)
+			}
+			fmt.Fprintf(&b, "  %-*s %s\n", classW, c.Class, strings.Join(parts, "  "))
+		}
+	}
+
+	if len(snap.RecentQueries) > 0 {
+		n := len(snap.RecentQueries)
+		if n > 8 {
+			n = 8
+		}
+		fmt.Fprintf(&b, "\nRECENT QUERIES (last %d of %d)\n", n, len(snap.RecentQueries))
+		fmt.Fprintf(&b, "  %-14s %5s %9s %8s %8s %8s %10s\n",
+			"OP", "GEN", "MS", "CLASSES", "CANDS", "EMITTED", "MARGIN")
+		for _, r := range snap.RecentQueries[:n] {
+			margin := "—"
+			if r.MinMargin >= 0 {
+				margin = fmt.Sprintf("%.4f", r.MinMargin)
+			}
+			fmt.Fprintf(&b, "  %-14s %5d %9.2f %8d %8d %8d %10s\n",
+				r.Op, r.Generation, r.DurationMS, r.Classes, r.Candidates, r.Emitted, margin)
+		}
+	}
+	return b.String()
+}
+
+func formatUptime(s float64) string {
+	d := time.Duration(s * float64(time.Second)).Round(time.Second)
+	return d.String()
+}
+
+func formatQuantile(q map[string]float64, key string) string {
+	v, ok := q[key]
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func marginValues(pts []telemetry.MarginPoint) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Margin
+	}
+	return out
+}
+
+// sparkline renders values as a block-character trend, scaled to the
+// window's own min/max (flat windows render mid-height).
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if hi == lo {
+			out[i] = blocks[len(blocks)/2]
+			continue
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}

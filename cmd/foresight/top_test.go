@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"foresight/internal/obs/telemetry"
+)
+
+func sampleSnapshot() telemetry.Snapshot {
+	return telemetry.Snapshot{
+		Generation:        3,
+		CurrentGeneration: 3,
+		Resets:            1,
+		TotalQueries:      42,
+		ScoreRankError:    0.03125,
+		Classes: []telemetry.ClassSnapshot{
+			{
+				Class:      "linear",
+				Queries:    40,
+				Candidates: 4000,
+				Pruned:     3800,
+				Emitted:    200,
+				ScoreCount: 4000,
+				Quantiles:  map[string]float64{"p50": 0.41, "p90": 0.77, "p99": 0.93},
+				HotColumns: []telemetry.HotItem{
+					{Item: "life_expectancy", Count: 120},
+					{Item: "gdp_per_capita", Count: 90},
+				},
+				HotTuples: []telemetry.HotItem{{Item: "gdp_per_capita|life_expectancy", Count: 60}},
+				Margins: []telemetry.MarginPoint{
+					{Generation: 3, Margin: 0.01},
+					{Generation: 3, Margin: 0.05},
+					{Generation: 3, Margin: 0.02},
+				},
+			},
+			{Class: "outlier", Queries: 2},
+		},
+		RecentQueries: []telemetry.QueryRecord{
+			{Op: "carousels", Generation: 3, DurationMS: 1.25, Classes: 4, Candidates: 400, Emitted: 20, MinMargin: 0.0123},
+			{Op: "execute", Generation: 3, DurationMS: 0.4, Classes: 1, Candidates: 100, Emitted: 5, MinMargin: -1},
+		},
+	}
+}
+
+func sampleStats() topStats {
+	s := topStats{Workers: 8, UptimeS: 3923}
+	s.Cache.Hits, s.Cache.Misses, s.Cache.Entries = 100, 10, 55
+	s.Build = map[string]any{"version": "v1.2.3"}
+	return s
+}
+
+func TestRenderTop(t *testing.T) {
+	out := renderTop(sampleSnapshot(), sampleStats(), 5)
+	for _, want := range []string{
+		"v1.2.3",
+		"up 1h5m23s",
+		"workers=8",
+		"gen=3 [live]",
+		"queries=42",
+		"resets=1",
+		"ε=±0.031",
+		"linear",
+		"0.410", "0.770", "0.930", // p50/p90/p99
+		"life_expectancy(120)",
+		"gdp_per_capita(90)",
+		"RECENT QUERIES (last 2 of 2)",
+		"carousels",
+		"0.0123", // finite min margin
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q in:\n%s", want, out)
+		}
+	}
+	// The outlier class has no scores yet: quantiles render as dashes,
+	// and the untruncated execute query's margin renders as a dash.
+	if !strings.Contains(out, "—") {
+		t.Errorf("no placeholder dashes rendered:\n%s", out)
+	}
+}
+
+func TestRenderTopStale(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.Stale = true
+	snap.CurrentGeneration = 5
+	out := renderTop(snap, sampleStats(), 5)
+	if !strings.Contains(out, "STALE (sketches gen 3, engine gen 5)") {
+		t.Errorf("staleness not surfaced:\n%s", out)
+	}
+}
+
+func TestRenderTopEmpty(t *testing.T) {
+	out := renderTop(telemetry.Snapshot{}, topStats{}, 5)
+	if !strings.Contains(out, "no insight telemetry yet") {
+		t.Errorf("empty snapshot not handled:\n%s", out)
+	}
+}
+
+func TestRenderTopHonorsTopN(t *testing.T) {
+	out := renderTop(sampleSnapshot(), sampleStats(), 1)
+	if strings.Contains(out, "gdp_per_capita(90)") {
+		t.Errorf("top=1 still rendered the second hot column:\n%s", out)
+	}
+	if !strings.Contains(out, "life_expectancy(120)") {
+		t.Errorf("top=1 dropped the first hot column:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("sparkline(nil) = %q", got)
+	}
+	if got := sparkline([]float64{1, 1, 1}); got != "▅▅▅" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 0.5, 1})
+	if []rune(got)[0] != '▁' || []rune(got)[2] != '█' {
+		t.Errorf("sparkline extremes = %q", got)
+	}
+}

@@ -10,8 +10,11 @@
 //	foresightd -data oecd -debug-addr :8601   # pprof + /metrics sidecar
 //
 // The main listener exposes Prometheus metrics at /metrics, recent
-// slow-request traces at /api/debug/traces, and operational stats at
-// /api/stats. POST /api/ingest appends row batches live (CSV or JSON;
+// slow-request traces at /api/debug/traces, insight-telemetry sketch
+// summaries at /api/debug/insights (score quantiles, hot columns,
+// top-k margins per class; see also -query-log-sample and the
+// `foresight top` dashboard), and operational stats at /api/stats.
+// POST /api/ingest appends row batches live (CSV or JSON;
 // the sketch store extends incrementally, bounded by -ingest-queue).
 // With -debug-addr a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (kept off the main port so
@@ -65,9 +68,11 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "maximum concurrently served API requests; excess requests are shed with 503 (0 = unlimited)")
 	ingestQueue := flag.Int("ingest-queue", 64, "maximum queued /api/ingest batches; excess batches are shed with 503")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
+	queryLogSample := flag.Float64("query-log-sample", 0, "fraction of engine queries logged as structured JSON telemetry lines (0 = off, 1 = every query, 0.01 = every 100th)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	obs.SetBuildInfo(reg, version)
 	// Profile build/merge timings surface as a labeled histogram; the
 	// observer is installed before any profile is built so -approx
 	// preprocessing is captured too. server.New registers the same
@@ -105,6 +110,7 @@ func main() {
 		RequestTimeout:     *requestTimeout,
 		MaxInflight:        *maxInflight,
 		IngestQueue:        *ingestQueue,
+		QueryLogSample:     *queryLogSample,
 	}
 	if *quiet {
 		opts.LogWriter = nil
@@ -132,7 +138,7 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v timeout=%v max-inflight=%d; /metrics, /api/stats, /api/debug/traces)",
+	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v timeout=%v max-inflight=%d; /metrics, /api/stats, /api/debug/traces, /api/debug/insights)",
 		version, f.Summary(), *addr, engine.Workers(), *cache, *requestTimeout, *maxInflight)
 	if err := runUntilSignalled(httpSrv, *shutdownGrace); err != nil {
 		log.Fatalf("foresightd: %v", err)

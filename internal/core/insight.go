@@ -224,10 +224,21 @@ func SortInsights(ins []Insight) {
 // is total; inputs should be NaN-free (the engine filters NaN scores
 // before ranking), as NaN has no defined rank.
 func TopK(ins []Insight, k int) []Insight {
+	top, _ := TopKExcluded(ins, k)
+	return top
+}
+
+// TopKExcluded selects like TopK and additionally reports the highest
+// score among the insights the cut excluded, tracked for free during
+// the selection pass (so callers computing a top-k margin avoid a
+// second scan over the candidates). The score is NaN when nothing was
+// excluded.
+func TopKExcluded(ins []Insight, k int) ([]Insight, float64) {
 	if k <= 0 || k >= len(ins) {
 		SortInsights(ins)
-		return ins
+		return ins, math.NaN()
 	}
+	excluded := math.Inf(-1)
 	// h is a min-heap on ranking order: the root is the weakest
 	// retained insight, i.e. the next to be evicted.
 	h := make([]Insight, 0, k)
@@ -237,13 +248,23 @@ func TopK(ins []Insight, k int) []Insight {
 			siftUp(h, len(h)-1)
 			continue
 		}
+		// Whichever of (in, root) loses this round is excluded for
+		// good: the root only ever gets stronger.
 		if outranks(in, h[0]) {
+			if h[0].Score > excluded {
+				excluded = h[0].Score
+			}
 			h[0] = in
 			siftDown(h, 0)
+		} else if in.Score > excluded {
+			excluded = in.Score
 		}
 	}
 	SortInsights(h)
-	return h
+	if math.IsInf(excluded, -1) {
+		excluded = math.NaN()
+	}
+	return h, excluded
 }
 
 // outranks reports whether a ranks strictly ahead of b under the

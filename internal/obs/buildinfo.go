@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// SetBuildInfo registers (or refreshes) the standard build-info gauge:
+// a constant-1 sample whose labels carry the build identity, the
+// Prometheus idiom for joining version metadata onto any other series.
+// version is the binary's stamped version ("dev" when unset).
+func SetBuildInfo(r *Registry, version string) {
+	if r == nil {
+		return
+	}
+	if version == "" {
+		version = "dev"
+	}
+	r.GaugeVec("foresight_build_info",
+		"Build and runtime identity; the labels carry the data, the value is always 1.",
+		"version", "goversion", "gomaxprocs").
+		With(version, runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+}

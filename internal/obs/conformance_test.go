@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusConformanceGolden pins the exact text exposition of a
+// registry holding every collector kind. Byte-for-byte: HELP/TYPE
+// order, sample ordering, label escaping, histogram series.
+func TestPrometheusConformanceGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("g_events_total", "Events observed.").Add(3)
+	r.CounterFunc("g_external_total", "External view.", func() uint64 { return 9 })
+	r.Gauge("g_depth", "Queue depth.").Set(2)
+	r.GaugeFunc("g_dynamic", "Dynamic value.", func() float64 { return 1.5 })
+	gv := r.GaugeVec("g_info", "Identity gauge.", "version", "flavor")
+	gv.With("v1.2", "debug").Set(1)
+	cv := r.CounterVec("g_requests_total", "Requests.", "route", "code")
+	cv.With("/api/query", "200").Add(7)
+	cv.With("q\"uo\\te\n\tドキュメント", "500").Inc()
+	h := r.Histogram("g_seconds", "Latency with \\ and\nnewline in help.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	hv := r.HistogramVec("g_route_seconds", "Per-route latency.", []float64{1}, "route")
+	hv.With("/a").Observe(0.5)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	want := `# HELP g_depth Queue depth.
+# TYPE g_depth gauge
+g_depth 2
+# HELP g_dynamic Dynamic value.
+# TYPE g_dynamic gauge
+g_dynamic 1.5
+# HELP g_events_total Events observed.
+# TYPE g_events_total counter
+g_events_total 3
+# HELP g_external_total External view.
+# TYPE g_external_total counter
+g_external_total 9
+# HELP g_info Identity gauge.
+# TYPE g_info gauge
+g_info{version="v1.2",flavor="debug"} 1
+# HELP g_requests_total Requests.
+# TYPE g_requests_total counter
+g_requests_total{route="/api/query",code="200"} 7
+g_requests_total{route="q\"uo\\te\n` + "\tドキュメント" + `",code="500"} 1
+# HELP g_route_seconds Per-route latency.
+# TYPE g_route_seconds histogram
+g_route_seconds_bucket{route="/a",le="1"} 1
+g_route_seconds_bucket{route="/a",le="+Inf"} 1
+g_route_seconds_sum{route="/a"} 0.5
+g_route_seconds_count{route="/a"} 1
+# HELP g_seconds Latency with \\ and\nnewline in help.
+# TYPE g_seconds histogram
+g_seconds_bucket{le="0.5"} 1
+g_seconds_bucket{le="1"} 1
+g_seconds_bucket{le="+Inf"} 2
+g_seconds_sum 2.25
+g_seconds_count 2
+`
+	if got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusConformanceStructure machine-checks the invariants the
+// exposition format demands, over a registry that includes the real
+// server families: every family has HELP before TYPE before samples,
+// every histogram has _sum and _count, no raw newline/quote/backslash
+// leaks into a label value, every non-comment line parses.
+func TestPrometheusConformanceStructure(t *testing.T) {
+	r := NewRegistry()
+	SetBuildInfo(r, "v-test")
+	r.Counter("s_one_total", "One.").Inc()
+	r.HistogramVec("s_lat_seconds", "Lat.", nil, "route").With(`a"b\c` + "\n").Observe(0.01)
+	r.GaugeVec("s_mode", "Mode.", "mode").With("fast").Set(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	labelRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="((\\.|[^"\\])*)"$`)
+	helped, typed := map[string]bool{}, map[string]string{}
+	var families []string
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if s, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name := strings.SplitN(s, " ", 2)[0]
+			if helped[name] {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			helped[name] = true
+			if typed[name] != "" {
+				t.Errorf("HELP for %s after its TYPE", name)
+			}
+			continue
+		}
+		if s, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(s)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if !helped[name] {
+				t.Errorf("TYPE for %s without HELP", name)
+			}
+			if typed[name] != "" {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown TYPE %q for %s", typ, name)
+			}
+			typed[name] = typ
+			families = append(families, name)
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suffix); fam != base && typed[fam] == "histogram" {
+				base = fam
+				break
+			}
+		}
+		if typed[base] == "" {
+			t.Errorf("sample %q outside any TYPEd family", line)
+		}
+		if m[3] != "" {
+			// Split label pairs at top level: a comma inside a quoted
+			// value never follows an unescaped closing quote + comma
+			// boundary produced by the renderer.
+			for _, pair := range splitLabelPairs(m[3]) {
+				if !labelRe.MatchString(pair) {
+					t.Errorf("malformed label pair %q in %q", pair, line)
+				}
+			}
+		}
+	}
+	// Histogram families expose the full series triple.
+	for name, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if !strings.Contains(out, name+suffix) {
+				t.Errorf("histogram %s missing %s series", name, suffix)
+			}
+		}
+		if !strings.Contains(out, name+`_bucket{`) || !strings.Contains(out, `le="+Inf"`) {
+			t.Errorf("histogram %s missing +Inf bucket", name)
+		}
+	}
+	// The build-info gauge rode along with its standard labels.
+	if !regexp.MustCompile(`foresight_build_info\{version="v-test",goversion="go[^"]+",gomaxprocs="[0-9]+"\} 1`).MatchString(out) {
+		t.Errorf("build info gauge malformed:\n%s", out)
+	}
+	if len(families) == 0 {
+		t.Fatal("no families rendered")
+	}
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` at commas that separate
+// pairs, respecting escaped quotes inside values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		"tab\tstays":   "tab\tstays", // tabs are NOT escaped in the format
+		"uni ドキュメント é": "uni ドキュメント é",
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := escapeHelp("a\\b\nc\"d"); got != `a\\b\nc"d` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("gv_test", "GV.", "mode")
+	v.With("a").Set(3)
+	v.With("a").Add(-1)
+	v.With("b").Set(5)
+	if v.With("a").Value() != 2 || v.With("b").Value() != 5 {
+		t.Fatalf("gauge values = %d, %d", v.With("a").Value(), v.With("b").Value())
+	}
+	// Idempotent re-registration.
+	if r.GaugeVec("gv_test", "GV.", "mode") != v {
+		t.Error("re-registration returned a new vec")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("label arity mismatch did not panic")
+		}
+	}()
+	v.With("a", "b")
+}

@@ -84,14 +84,62 @@ func (r *Registry) Handler() http.Handler {
 
 func writeHeader(w io.Writer, name, help, typ string) {
 	if help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 }
 
-// formatLabels renders {k="v",...} for parallel name/value slices.
-// %q escaping covers the characters the Prometheus text format
-// requires escaped (backslash, double quote, newline).
+// escapeHelp escapes a HELP string per the Prometheus text exposition
+// format: backslash and line feed only (double quotes stay literal in
+// HELP text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: exactly backslash, double quote and line feed.
+// Everything else — including tabs, control bytes and non-ASCII UTF-8
+// — passes through verbatim, which is what conformant parsers expect
+// (strconv-style \xNN escapes are NOT part of the format and would be
+// misread as a literal backslash sequence).
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k="v",...} for parallel name/value slices,
+// escaping values per the exposition format.
 func formatLabels(names, values []string) string {
 	if len(names) == 0 {
 		return ""
@@ -102,7 +150,10 @@ func formatLabels(names, values []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", n, values[i])
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -272,6 +323,28 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveAll records a batch of samples in one pass: bucket counts
+// are still bumped per value, but the observation count and the sum
+// each fold in with a single atomic update instead of one per value.
+func (h *Histogram) ObserveAll(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	var sum float64
+	for _, v := range vs {
+		h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+		sum += v
+	}
+	h.count.Add(uint64(len(vs)))
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -400,6 +473,68 @@ func (v *CounterVec) name() string { return v.nameStr }
 func (v *CounterVec) kind() string { return "counter" }
 func (v *CounterVec) render(w io.Writer) {
 	writeHeader(w, v.nameStr, v.help, "counter")
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var values []string
+		if k != "" || len(v.labels) > 0 {
+			values = strings.Split(k, labelSep)
+		}
+		fmt.Fprintf(w, "%s%s %d\n", v.nameStr, formatLabels(v.labels, values), v.children[k].Value())
+	}
+	v.mu.RUnlock()
+}
+
+// GaugeVec is a family of gauges partitioned by label values (e.g.
+// the build-info gauge, whose labels carry the interesting data and
+// whose value is a constant 1).
+type GaugeVec struct {
+	nameStr, help string
+	labels        []string
+	mu            sync.RWMutex
+	children      map[string]*Gauge
+}
+
+// GaugeVec returns the labeled gauge family registered under name,
+// creating it if needed.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return r.register(&GaugeVec{
+		nameStr: name, help: help, labels: labels,
+		children: make(map[string]*Gauge),
+	}).(*GaugeVec)
+}
+
+// With returns the child gauge for the given label values (one per
+// label name, in order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.nameStr, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	g, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.children[key]; ok {
+		return g
+	}
+	g = &Gauge{nameStr: v.nameStr}
+	v.children[key] = g
+	return g
+}
+
+func (v *GaugeVec) name() string { return v.nameStr }
+func (v *GaugeVec) kind() string { return "gauge" }
+func (v *GaugeVec) render(w io.Writer) {
+	writeHeader(w, v.nameStr, v.help, "gauge")
 	v.mu.RLock()
 	keys := make([]string, 0, len(v.children))
 	for k := range v.children {

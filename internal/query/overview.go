@@ -8,6 +8,7 @@ import (
 
 	"foresight/internal/core"
 	"foresight/internal/obs"
+	"foresight/internal/obs/telemetry"
 )
 
 // Overview is the paper's optional per-class "global view of insight
@@ -46,7 +47,8 @@ func (e *Engine) Overview(className, metric string, approx bool) (*Overview, err
 // once ctx is done the overview returns ctx.Err() promptly and the
 // engine's cancellation counter increments.
 func (e *Engine) OverviewContext(ctx context.Context, className, metric string, approx bool) (*Overview, error) {
-	defer e.observeOp("overview", time.Now())
+	start := time.Now()
+	defer e.observeOp("overview", start)
 	if err := ctx.Err(); err != nil {
 		return nil, e.noteCancel(err)
 	}
@@ -153,6 +155,30 @@ func (e *Engine) OverviewContext(ctx context.Context, className, metric string, 
 		}
 	}
 	core.SortInsights(ov.Insights)
+	if telem := e.telem.Load(); telem != nil {
+		// An overview emits every scored tuple (no top-k), so the
+		// sample has no margin; pruned counts the tuples whose metric
+		// was undefined or whose scoring errored.
+		st := telemetry.ClassSample{
+			Class:      className,
+			Candidates: len(cands),
+			Pruned:     len(cands) - len(ov.Insights),
+			Emitted:    len(ov.Insights),
+			Margin:     math.NaN(),
+			Scores:     make([]float64, len(ov.Insights)),
+			Attrs:      make([][]string, len(ov.Insights)),
+		}
+		for i, in := range ov.Insights {
+			st.Scores[i] = in.Score
+			st.Attrs[i] = in.Attrs
+		}
+		telem.Record(telemetry.QuerySample{
+			Op:         "overview",
+			Generation: snap.gen,
+			DurationMS: time.Since(start).Seconds() * 1e3,
+			Classes:    []telemetry.ClassSample{st},
+		})
+	}
 	return ov, nil
 }
 

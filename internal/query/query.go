@@ -19,6 +19,7 @@ import (
 	"foresight/internal/core"
 	"foresight/internal/frame"
 	"foresight/internal/obs"
+	"foresight/internal/obs/telemetry"
 	"foresight/internal/sketch"
 )
 
@@ -92,6 +93,11 @@ type Engine struct {
 	// metrics holds the registered collectors after Instrument
 	// (metrics.go); nil means uninstrumented.
 	metrics atomic.Pointer[engineMetrics]
+	// telem is the optional insight-telemetry store (obs/telemetry):
+	// when set, every query records per-class score/candidate/margin
+	// samples after scoring completes, outside the engine lock. Nil
+	// costs one atomic load per operation.
+	telem atomic.Pointer[telemetry.Insights]
 	// inflightScores counts candidate-scoring tasks currently running,
 	// exported as the worker-pool saturation gauge.
 	inflightScores atomic.Int64
@@ -157,6 +163,15 @@ func (e *Engine) noteCancel(err error) error {
 	return err
 }
 
+// SetInsightTelemetry attaches (or, with nil, detaches) an insight-
+// telemetry store. Recording happens strictly after scoring, outside
+// the engine's locks, so telemetry never extends a query's critical
+// sections.
+func (e *Engine) SetInsightTelemetry(t *telemetry.Insights) { e.telem.Store(t) }
+
+// InsightTelemetry returns the attached telemetry store (nil if none).
+func (e *Engine) InsightTelemetry() *telemetry.Insights { return e.telem.Load() }
+
 // Registry returns the engine's insight-class registry.
 func (e *Engine) Registry() *core.Registry { return e.registry }
 
@@ -197,7 +212,15 @@ func (e *Engine) Execute(q Query) ([]Result, error) {
 // completed before the cutoff stay in the memo, so a retry resumes
 // warm). Early exits increment the engine's cancellation counter.
 func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) {
-	defer e.observeOp("execute", time.Now())
+	return e.executeOp(ctx, q, "execute")
+}
+
+// executeOp is ExecuteContext with an operation label: carousels and
+// neighborhoods funnel through the same scoring path but report their
+// own op in the engine metrics and the insight-telemetry samples.
+func (e *Engine) executeOp(ctx context.Context, q Query, op string) ([]Result, error) {
+	start := time.Now()
+	defer e.observeOp(op, start)
 	if err := ctx.Err(); err != nil {
 		return nil, e.noteCancel(err)
 	}
@@ -221,6 +244,8 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 		maxScore = math.Inf(1)
 	}
 	endParse()
+	telem := e.telem.Load()
+	var samples []telemetry.ClassSample
 	var out []Result
 	for _, c := range classes {
 		if err := ctx.Err(); err != nil {
@@ -233,9 +258,12 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 			}
 			continue
 		}
-		ins, err := e.scoreClass(ctx, tr, snap, c, q, metric, maxScore)
+		ins, st, err := e.scoreClass(ctx, tr, snap, c, q, metric, maxScore, telem != nil)
 		if err != nil {
 			return nil, e.noteCancel(err)
+		}
+		if telem != nil {
+			samples = append(samples, st)
 		}
 		if len(ins) == 0 {
 			continue
@@ -246,10 +274,23 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) ([]Result, error) 
 		}
 		out = append(out, Result{Class: c.Name(), Metric: m, Insights: ins})
 	}
+	if telem != nil {
+		telem.Record(telemetry.QuerySample{
+			Op:         op,
+			Generation: snap.gen,
+			DurationMS: time.Since(start).Seconds() * 1e3,
+			Classes:    samples,
+		})
+	}
 	return out, nil
 }
 
-func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c core.Class, q Query, metric string, maxScore float64) ([]core.Insight, error) {
+// scoreClass scores one class against the snapshot. When wantStats is
+// set (a telemetry store is attached) it also fills a ClassSample with
+// candidate/pruned/emitted counts, the emitted scores and attribute
+// tuples, and the top-k margin; otherwise the sample is zero and no
+// extra work happens on the hot path.
+func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c core.Class, q Query, metric string, maxScore float64, wantStats bool) ([]core.Insight, telemetry.ClassSample, error) {
 	// Filter candidates by the structural constraints first, then
 	// score (memoized, possibly in parallel), then filter by strength
 	// and rank. The memo keys on the resolved metric so explicit
@@ -271,13 +312,13 @@ func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c
 	}
 	endEnum()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, telemetry.ClassSample{}, err
 	}
 	endScore := tr.StartSpan("score:" + c.Name())
 	scored, err := e.scoreCandidates(ctx, snap, c, cands, q.Approx, resolved)
 	endScore()
 	if err != nil {
-		return nil, err
+		return nil, telemetry.ClassSample{}, err
 	}
 	defer tr.StartSpan("rank:" + c.Name())()
 	ins := make([]core.Insight, 0, len(scored))
@@ -290,7 +331,44 @@ func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c
 		}
 		ins = append(ins, in)
 	}
-	return core.TopK(ins, q.K), nil
+	top, bestExcluded := core.TopKExcluded(ins, q.K)
+	if !wantStats {
+		return top, telemetry.ClassSample{}, nil
+	}
+	st := telemetry.ClassSample{
+		Class:      c.Name(),
+		Candidates: len(cands),
+		Pruned:     len(scored) - len(ins),
+		Emitted:    len(top),
+		Margin:     topKMargin(top, bestExcluded),
+		Scores:     make([]float64, len(top)),
+		Attrs:      make([][]string, len(top)),
+	}
+	for i, in := range top {
+		st.Scores[i] = in.Score
+		st.Attrs[i] = in.Attrs
+	}
+	return top, st, nil
+}
+
+// topKMargin returns the top-k score margin: the score of the weakest
+// retained insight minus the strongest excluded one, with the latter
+// already tracked by core.TopKExcluded during selection. NaN when
+// nothing was excluded (no truncation happened); 0 when ties straddle
+// the cut, since the ranking there is not stable — the margin
+// telemetry's "about to churn" signal.
+func topKMargin(top []core.Insight, bestExcluded float64) float64 {
+	if len(top) == 0 || math.IsNaN(bestExcluded) {
+		return math.NaN()
+	}
+	// top is sorted by descending score, so the weakest retained score
+	// is the last. Every excluded insight scores at most that; equality
+	// means a tie straddles the cut.
+	minRetained := top[len(top)-1].Score
+	if bestExcluded >= minRetained {
+		return 0
+	}
+	return minRetained - bestExcluded
 }
 
 // resolveClasses maps names to classes; empty names = all registered.
@@ -348,10 +426,12 @@ func anySemantic(f *frame.Frame, attrs []string, want frame.SemanticType) bool {
 // Carousels returns the Figure-1 view: the top-k insights of every
 // registered class, keyed by class name in registry order.
 func (e *Engine) Carousels(k int, approx bool) ([]Result, error) {
-	return e.Execute(Query{K: k, Approx: approx})
+	return e.CarouselsContext(context.Background(), k, approx)
 }
 
-// CarouselsContext is Carousels with a context for tracing.
+// CarouselsContext is Carousels with a context for tracing. It runs
+// the same scoring path as ExecuteContext but reports op "carousels"
+// in the engine metrics and telemetry.
 func (e *Engine) CarouselsContext(ctx context.Context, k int, approx bool) ([]Result, error) {
-	return e.ExecuteContext(ctx, Query{K: k, Approx: approx})
+	return e.executeOp(ctx, Query{K: k, Approx: approx}, "carousels")
 }

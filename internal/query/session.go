@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"time"
 
 	"foresight/internal/core"
 	"foresight/internal/obs"
@@ -71,8 +70,10 @@ func (e *Engine) Neighborhood(focus core.Insight, classes []string, k int, appro
 // Cancellation is inherited from the underlying ExecuteContext and
 // re-checked before the similarity ranking.
 func (e *Engine) NeighborhoodContext(ctx context.Context, focus core.Insight, classes []string, k int, approx bool) ([]core.Insight, error) {
-	defer e.observeOp("neighborhood", time.Now())
-	res, err := e.ExecuteContext(ctx, Query{Classes: classes, Approx: approx})
+	// executeOp labels the metrics sample and the telemetry record
+	// "neighborhood" (the similarity ranking below rides on top of one
+	// ordinary scoring pass).
+	res, err := e.executeOp(ctx, Query{Classes: classes, Approx: approx}, "neighborhood")
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +201,10 @@ func (s *Session) RecommendationsK(k int) ([]Result, error) {
 
 // RecommendationsKContext is RecommendationsK with a context; a trace
 // on ctx records the engine's spans plus the blend re-ranking span.
+// The underlying scoring pass is labeled "carousels" in the engine
+// metrics and telemetry — this is the carousel view's serving path.
 func (s *Session) RecommendationsKContext(ctx context.Context, k int) ([]Result, error) {
-	res, err := s.engine.ExecuteContext(ctx, Query{Approx: s.Approx})
+	res, err := s.engine.executeOp(ctx, Query{Approx: s.Approx}, "carousels")
 	if err != nil {
 		return nil, err
 	}

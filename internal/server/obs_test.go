@@ -64,7 +64,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 		`foresight_http_requests_total{route="/api/query",code="200"} 1`,
 		`foresight_http_requests_total{route="/api/carousels",code="200"} 1`,
 		`foresight_http_request_seconds_count{route="/api/query"} 1`,
-		`foresight_engine_ops_total{op="execute"} 2`,
+		`foresight_engine_ops_total{op="execute"} 1`,
+		`foresight_engine_ops_total{op="carousels"} 1`,
+		`foresight_insight_class_queries_total{class="linear"} 2`,
+		"foresight_build_info{version=\"test-1\",goversion=\"go",
 		"foresight_cache_misses_total",
 		"foresight_cache_hits_total",
 		"foresight_cache_entries",

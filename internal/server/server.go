@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -37,6 +38,7 @@ import (
 
 	"foresight/internal/core"
 	"foresight/internal/obs"
+	"foresight/internal/obs/telemetry"
 	"foresight/internal/query"
 	"foresight/internal/sketch"
 	"foresight/internal/viz"
@@ -82,6 +84,15 @@ type Options struct {
 	// IngestQueue bounds the /api/ingest batch queue (ingest.go);
 	// excess batches are shed with 503. 0 → 32.
 	IngestQueue int
+	// QueryLogSample is the fraction of engine queries logged as
+	// structured JSON lines through LogWriter (0 disables, 1 logs every
+	// query, 0.01 logs every 100th). Independent of the per-request
+	// HTTP log: a query line carries scoring telemetry (candidates,
+	// pruned, emitted, top-k margin), not HTTP fields.
+	QueryLogSample float64
+	// Telemetry sizes the insight-telemetry store served at
+	// /api/debug/insights; the zero value picks the defaults.
+	Telemetry telemetry.Config
 }
 
 // Server wires one dataset, one engine and one exploration session
@@ -102,6 +113,7 @@ type Server struct {
 	registry *obs.Registry
 	httpObs  *obs.HTTP
 	traces   *obs.TraceLog
+	telem    *telemetry.Insights
 	start    time.Time
 	version  string
 
@@ -188,6 +200,17 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 		Log:     obs.NewLogger(o.LogWriter),
 		Traces:  s.traces,
 	}
+	// Insight telemetry: Foresight observing itself with its own
+	// sketches (obs/telemetry). The store is bounded and always on —
+	// recording costs one stripe lock after scoring — and is served at
+	// /api/debug/insights plus the foresight_insight_* metric families.
+	// The sampled query log shares the request logger's writer and
+	// mutex, so the two JSON streams interleave cleanly.
+	s.telem = telemetry.New(o.Telemetry)
+	s.telem.Instrument(reg)
+	s.telem.SetQueryLog(s.httpObs.Log, o.QueryLogSample)
+	engine.SetInsightTelemetry(s.telem)
+	obs.SetBuildInfo(reg, version)
 
 	s.handle("/", s.handleIndex, http.MethodGet)
 	s.handle("/api/dataset", s.handleDataset, http.MethodGet)
@@ -204,6 +227,7 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 	s.handle("/api/state", s.handleState, http.MethodGet, http.MethodPost)
 	s.handle("/api/stats", s.handleStats, http.MethodGet)
 	s.handle("/api/debug/traces", s.handleDebugTraces, http.MethodGet)
+	s.handle("/api/debug/insights", s.handleDebugInsights, http.MethodGet)
 	s.mux.Handle("/metrics", s.httpObs.Wrap("/metrics", s.recoverPanics("/metrics", reg.Handler())))
 	return s
 }
@@ -702,12 +726,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxDebugTraces caps how many traces one /api/debug/traces response
+// returns regardless of the requested limit, so a bad query parameter
+// cannot turn the debug endpoint into an unbounded serialization.
+const maxDebugTraces = 1000
+
 // handleDebugTraces serves the recent-trace ring buffer, most recent
-// first. min_ms filters to traces at least that slow; n bounds the
-// count.
+// first, filtered server-side: min_ms keeps only traces at least that
+// slow, limit (alias n) bounds the count. Both are clamped — negative
+// or NaN values fall back to the defaults, and limit never exceeds
+// maxDebugTraces.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	minMS := floatParam(r, "min_ms", 0)
-	limit := intParam(r, "n", 0)
+	if math.IsNaN(minMS) || minMS < 0 {
+		minMS = 0
+	}
+	limit := intParam(r, "limit", intParam(r, "n", 0))
+	if limit <= 0 || limit > maxDebugTraces {
+		limit = maxDebugTraces
+	}
 	all := s.traces.Snapshot()
 	out := make([]obs.TraceSnapshot, 0, len(all))
 	for _, t := range all {
@@ -715,7 +752,7 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out = append(out, t)
-		if limit > 0 && len(out) >= limit {
+		if len(out) >= limit {
 			break
 		}
 	}
@@ -724,6 +761,18 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		"count":          len(out),
 		"total_recorded": s.traces.Total(),
 	})
+}
+
+// handleDebugInsights serves the insight-telemetry snapshot: per-class
+// score quantiles (p50/p90/p99 within the KLL rank-error bound), hot
+// columns and column tuples, candidate/pruned/emitted counters, top-k
+// margin trends, the recent-query ring, and staleness against the
+// engine's live cache generation. ?top= bounds the hot-item lists.
+// Snapshotting drains the write stripes without blocking scoring.
+func (s *Server) handleDebugInsights(w http.ResponseWriter, r *http.Request) {
+	top := intParam(r, "top", 10)
+	snap := s.telem.Snapshot(s.engine.CacheStats().Generation, top)
+	s.writeJSON(w, snap)
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {

@@ -116,6 +116,34 @@ func TestSpaceSavingWeightedAndEviction(t *testing.T) {
 	}
 }
 
+func TestSpaceSavingUpdateBytes(t *testing.T) {
+	s := NewSpaceSaving(2)
+	buf := []byte("a")
+	s.UpdateBytes(buf)
+	s.UpdateBytes(buf)
+	// The sketch must own its keys: mutating the caller's buffer after
+	// an update must not corrupt the tracked item.
+	buf[0] = 'b'
+	s.UpdateBytes(buf)
+	if c, ok := s.Estimate("a"); !ok || c != 2 {
+		t.Errorf("Estimate(a) = %d,%v, want 2,true", c, ok)
+	}
+	if c, ok := s.Estimate("b"); !ok || c != 1 {
+		t.Errorf("Estimate(b) = %d,%v, want 1,true", c, ok)
+	}
+	s.UpdateBytes([]byte("c")) // at capacity: evicts b, inherits err
+	if c, ok := s.Estimate("c"); !ok || c != 2 {
+		t.Errorf("Estimate(c) = %d,%v, want 2,true", c, ok)
+	}
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	buf[0] = 'a' // "a" is still tracked; updating it must not allocate
+	if n := testing.AllocsPerRun(100, func() { s.UpdateBytes(buf) }); n != 0 {
+		t.Errorf("tracked-item UpdateBytes allocates %.0f times per run, want 0", n)
+	}
+}
+
 func TestSpaceSavingMerge(t *testing.T) {
 	a, b := NewSpaceSaving(4), NewSpaceSaving(4)
 	for i := 0; i < 10; i++ {
@@ -139,6 +167,29 @@ func TestSpaceSavingMerge(t *testing.T) {
 	}
 	if err := a.Merge(nil); err != nil {
 		t.Errorf("Merge(nil) = %v", err)
+	}
+}
+
+func TestSpaceSavingClone(t *testing.T) {
+	s := NewSpaceSaving(4)
+	for i := 0; i < 10; i++ {
+		s.Update("x")
+	}
+	s.Update("y")
+	c := s.Clone()
+	if c.Count() != s.Count() || c.TrackedItems() != s.TrackedItems() {
+		t.Fatalf("clone shape mismatch: n=%d/%d tracked=%d/%d",
+			c.Count(), s.Count(), c.TrackedItems(), s.TrackedItems())
+	}
+	// Mutating the clone must not touch the original's counters.
+	for i := 0; i < 100; i++ {
+		c.Update("y")
+	}
+	if cy, _ := s.Estimate("y"); cy != 1 {
+		t.Errorf("updating the clone changed the original: y = %d, want 1", cy)
+	}
+	if cy, _ := c.Estimate("y"); cy != 101 {
+		t.Errorf("clone y = %d, want 101", cy)
 	}
 }
 

@@ -130,6 +130,41 @@ func (s *KLL) recount() {
 // Count returns the number of observations folded in.
 func (s *KLL) Count() uint64 { return s.n }
 
+// K returns the base compactor capacity (the accuracy parameter).
+func (s *KLL) K() int { return s.k }
+
+// RankErrorBound returns a conservative additive rank-error bound ε
+// for this sketch: for any value x the estimated rank differs from the
+// true rank by at most ε·n with high probability. The classic KLL
+// analysis gives ε = O(1/k) with a small constant; 4/k comfortably
+// covers the constant for this implementation's 2/3-geometric capacity
+// schedule (the uniform-stream test observes ≲1.5% error at k=200,
+// where this bound is 2%). Telemetry consumers use it to report how
+// much a score quantile can be trusted.
+func (s *KLL) RankErrorBound() float64 { return 4.0 / float64(s.k) }
+
+// Clone returns a deep copy of the sketch. The copy answers the same
+// queries as the original and can be merged or updated independently.
+// Its compaction RNG restarts from the original's seed, so a clone's
+// future coin flips are deterministic but not a continuation of the
+// original's sequence — acceptable for snapshot/merge use, where the
+// clone is read or folded rather than streamed into at length.
+func (s *KLL) Clone() *KLL {
+	c := &KLL{
+		k:       s.k,
+		size:    s.size,
+		maxSize: s.maxSize,
+		n:       s.n,
+		seed:    s.seed,
+		rng:     rand.New(rand.NewSource(s.seed)),
+	}
+	c.compactors = make([][]float64, len(s.compactors))
+	for h, items := range s.compactors {
+		c.compactors[h] = append([]float64(nil), items...)
+	}
+	return c
+}
+
 // StoredItems returns the number of retained items (space usage).
 func (s *KLL) StoredItems() int { return s.size }
 

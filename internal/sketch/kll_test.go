@@ -146,6 +146,55 @@ func TestKLLMergeDifferentLevels(t *testing.T) {
 	}
 }
 
+func TestKLLClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := NewKLL(64, 7)
+	for i := 0; i < 50000; i++ {
+		s.Update(rng.NormFloat64())
+	}
+	c := s.Clone()
+	if c.Count() != s.Count() || c.StoredItems() != s.StoredItems() || c.K() != s.K() {
+		t.Fatalf("clone shape mismatch: n=%d/%d items=%d/%d k=%d/%d",
+			c.Count(), s.Count(), c.StoredItems(), s.StoredItems(), c.K(), s.K())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if c.Quantile(q) != s.Quantile(q) {
+			t.Errorf("clone Quantile(%v) = %v, original %v", q, c.Quantile(q), s.Quantile(q))
+		}
+	}
+	// Mutating the clone must not touch the original.
+	before := s.Quantile(0.5)
+	for i := 0; i < 50000; i++ {
+		c.Update(1000)
+	}
+	if s.Quantile(0.5) != before {
+		t.Error("updating the clone changed the original")
+	}
+	if c.Quantile(0.9) < 100 {
+		t.Errorf("clone did not absorb updates: p90 = %v", c.Quantile(0.9))
+	}
+}
+
+func TestKLLRankErrorBoundHolds(t *testing.T) {
+	// The advertised bound must cover the observed rank error on a
+	// uniform stream (where quantile value ≈ rank fraction).
+	rng := rand.New(rand.NewSource(33))
+	s := NewKLL(128, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		s.Update(rng.Float64())
+	}
+	eps := s.RankErrorBound()
+	if eps <= 0 || eps > 0.5 {
+		t.Fatalf("RankErrorBound = %v, want a small positive fraction", eps)
+	}
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		if d := math.Abs(s.Quantile(q) - q); d > eps {
+			t.Errorf("Quantile(%v) off by %v, bound %v", q, d, eps)
+		}
+	}
+}
+
 // Property: quantiles are monotone in q and within the observed range.
 func TestQuickKLLQuantileMonotone(t *testing.T) {
 	prop := func(seed int64, raw []float64) bool {

@@ -48,6 +48,21 @@ func NewSpaceSaving(capacity int) *SpaceSaving {
 // Update folds one occurrence of item (with weight 1).
 func (s *SpaceSaving) Update(item string) { s.UpdateWeighted(item, 1) }
 
+// UpdateBytes folds one occurrence of the item spelled out in b. On
+// the hit path — the item is already tracked — no string is
+// materialised: the counters lookup on string(b) compiles to a
+// zero-copy probe. Only a first sighting or an eviction allocates.
+// Callers that assemble composite keys into a scratch buffer use this
+// to keep steady-state updates allocation-free.
+func (s *SpaceSaving) UpdateBytes(b []byte) {
+	s.n++
+	if c, ok := s.counters[string(b)]; ok {
+		c.count++
+		return
+	}
+	s.admit(string(b), 1)
+}
+
 // UpdateWeighted folds weight occurrences of item.
 func (s *SpaceSaving) UpdateWeighted(item string, weight uint64) {
 	if weight == 0 {
@@ -58,11 +73,16 @@ func (s *SpaceSaving) UpdateWeighted(item string, weight uint64) {
 		c.count += weight
 		return
 	}
+	s.admit(item, weight)
+}
+
+// admit inserts an untracked item, evicting the minimum counter (and
+// inheriting its count as the error bound) when at capacity.
+func (s *SpaceSaving) admit(item string, weight uint64) {
 	if len(s.counters) < s.capacity {
 		s.counters[item] = &ssCounter{item: item, count: weight}
 		return
 	}
-	// Evict the minimum counter and inherit its count as error bound.
 	var min *ssCounter
 	for _, c := range s.counters {
 		if min == nil || c.count < min.count {
@@ -196,3 +216,18 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 
 // TrackedItems returns the number of counters currently held.
 func (s *SpaceSaving) TrackedItems() int { return len(s.counters) }
+
+// Clone returns a deep copy of the sketch; the copy can be updated or
+// merged independently of the original.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	c := &SpaceSaving{
+		capacity: s.capacity,
+		counters: make(map[string]*ssCounter, len(s.counters)),
+		n:        s.n,
+	}
+	for item, ctr := range s.counters {
+		cp := *ctr
+		c.counters[item] = &cp
+	}
+	return c
+}
