@@ -113,6 +113,32 @@ func TestRunDemoProfileReportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRunSelfcheck(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "oecd.csv")
+	if err := runDemo([]string{"-name", "oecd", "-out", csv}); err != nil {
+		t.Fatalf("runDemo: %v", err)
+	}
+	if err := runSelfcheck([]string{"-data", csv, "-parts", "2", "-shards", "2"}); err != nil {
+		t.Fatalf("selfcheck on demo data: %v", err)
+	}
+	// Verify a persisted store, then verify it against the WRONG data
+	// — that must fail, or the subcommand guards nothing.
+	prof := filepath.Join(dir, "oecd.profile")
+	if err := runProfile([]string{"-data", csv, "-out", prof}); err != nil {
+		t.Fatalf("runProfile: %v", err)
+	}
+	if err := runSelfcheck([]string{"-data", csv, "-profile", prof}); err != nil {
+		t.Fatalf("selfcheck -profile: %v", err)
+	}
+	if err := runSelfcheck([]string{"-data", "imdb", "-profile", prof}); err == nil {
+		t.Error("selfcheck accepted a profile of different data")
+	}
+	if err := runSelfcheck([]string{}); err == nil {
+		t.Error("selfcheck without -data should fail")
+	}
+}
+
 func TestIndentHelper(t *testing.T) {
 	if got := indent("a\nb\n", "> "); got != "> a\n> b" {
 		t.Errorf("indent = %q", got)

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"foresight/internal/sketch"
+	"foresight/internal/sketch/sketchcheck"
+)
+
+// runSelfcheck executes the sketch invariant suite against live
+// profiles of -data: ground-truth checks for every per-column sketch,
+// persist→load and Clone query identity, and cross-checks of the
+// partitioned/sharded/extend build paths against the sequential build
+// within -tol. With -profile it instead verifies an already-persisted
+// sketch store against the dataset it claims to summarize. Exits
+// non-zero when any invariant is violated, so it slots into CI and
+// operational smoke tests directly.
+func runSelfcheck(args []string) error {
+	fs := flag.NewFlagSet("selfcheck", flag.ExitOnError)
+	data := fs.String("data", "", "CSV path or demo dataset name")
+	profilePath := fs.String("profile", "", "verify this saved sketch store instead of building fresh")
+	parts := fs.Int("parts", 3, "partitions for the partitioned-build path")
+	shards := fs.Int("shards", 4, "shards for the sharded-build and extend paths")
+	tol := fs.Float64("tol", 0.07, "estimator-delta gate between build paths (the E13 gate)")
+	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
+	_ = fs.Parse(args)
+	f, err := loadData(*data, *seed)
+	if err != nil {
+		return err
+	}
+
+	var r *sketchcheck.Report
+	if *profilePath != "" {
+		file, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		p, err := sketch.LoadProfile(file)
+		if err != nil {
+			return err
+		}
+		r = sketchcheck.RunProfile(f, p)
+	} else {
+		r = sketchcheck.Run(f, sketchcheck.Config{
+			Profile:  sketch.ProfileConfig{Seed: *seed},
+			Parts:    *parts,
+			Shards:   *shards,
+			ScoreTol: *tol,
+		})
+	}
+	sketchcheck.WriteReport(os.Stdout, r)
+	if !r.Ok() {
+		return fmt.Errorf("selfcheck: %d invariant violation(s)", len(r.Violations))
+	}
+	return nil
+}

@@ -15,7 +15,6 @@ import (
 type CountMin struct {
 	depth, width int
 	rows         [][]uint64
-	seeds        []uint64
 	n            uint64
 }
 
@@ -33,15 +32,21 @@ func NewCountMin(depth, width int) *CountMin {
 		depth: depth,
 		width: width,
 		rows:  make([][]uint64, depth),
-		seeds: make([]uint64, depth),
 	}
 	for i := range s.rows {
 		s.rows[i] = make([]uint64, width)
-		// Odd constants derived from the splitmix64 increment keep the
-		// row hashes independent and deterministic.
-		s.seeds[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
 	}
 	return s
+}
+
+// rowSeed returns the hash seed of row. Seeds are a pure function of
+// the row index — odd constants derived from the splitmix64 increment
+// keep the row hashes independent and deterministic — so two sketches
+// with equal (depth, width) hash identically *by construction*: there
+// is no per-instance hash state that Merge's shape check could miss.
+// The sketchcheck harness asserts this identity.
+func rowSeed(row int) uint64 {
+	return 0x9E3779B97F4A7C15 * uint64(row+1)
 }
 
 // NewCountMinWithError returns a sketch sized for additive error εN
@@ -61,7 +66,7 @@ func NewCountMinWithError(epsilon, delta float64) *CountMin {
 func (s *CountMin) bucket(row int, item string) int {
 	h := fnv.New64a()
 	var seedBytes [8]byte
-	seed := s.seeds[row]
+	seed := rowSeed(row)
 	for i := 0; i < 8; i++ {
 		seedBytes[i] = byte(seed >> (8 * uint(i)))
 	}
@@ -95,9 +100,19 @@ func (s *CountMin) Estimate(item string) uint64 {
 // Count returns the total stream weight observed.
 func (s *CountMin) Count() uint64 { return s.n }
 
+// Depth returns the number of hash rows.
+func (s *CountMin) Depth() int { return s.depth }
+
+// Width returns the number of counters per row.
+func (s *CountMin) Width() int { return s.width }
+
 // Merge adds the counters of other into s. Both sketches must have
-// been built with identical depth and width (and therefore seeds);
-// otherwise ErrShapeMismatch is returned.
+// been built with identical depth and width; row hash seeds are a
+// pure function of the row index (see rowSeed), so equal shape
+// implies identical hashing and the merged counters are exactly what
+// a one-pass sketch over the concatenated streams would hold.
+// ErrShapeMismatch is returned on depth/width disagreement, which is
+// the only way two sketches can map items to different buckets.
 func (s *CountMin) Merge(other *CountMin) error {
 	if other == nil {
 		return nil

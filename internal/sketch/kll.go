@@ -170,10 +170,20 @@ func (s *KLL) StoredItems() int { return s.size }
 
 // Merge folds other into s. Both sketches keep answering queries for
 // the union stream. The sketches may have different k; the result
-// keeps s's parameters.
+// keeps the *smaller* k, so RankErrorBound() stays honest — items
+// folded in from a coarser sketch carry that sketch's rank error, and
+// keeping the finer k would advertise a 4/k bound the merged data
+// cannot support (found by FuzzKLLMerge).
 func (s *KLL) Merge(other *KLL) error {
 	if other == nil {
 		return nil
+	}
+	if other.k < s.k {
+		s.k = other.k
+		s.maxSize = 0
+		for h := range s.compactors {
+			s.maxSize += s.capacity(h)
+		}
 	}
 	for len(s.compactors) < len(other.compactors) {
 		s.grow()

@@ -77,6 +77,9 @@ func (s *KMV) Update(item string) {
 // multiplicity).
 func (s *KMV) Count() uint64 { return s.n }
 
+// K returns the number of minimum hash values retained.
+func (s *KMV) K() int { return s.k }
+
 // Distinct returns the estimated number of distinct items.
 func (s *KMV) Distinct() float64 {
 	m := len(s.hashes)
@@ -96,9 +99,18 @@ func (s *KMV) Distinct() float64 {
 }
 
 // Merge folds other into s: union the hash sets, keep the k smallest.
+// When the sketches disagree on k the result keeps the *smaller* k:
+// the side with smaller k has already discarded hashes above its k-th
+// minimum, so the union only faithfully represents the k_min smallest
+// hashes of the combined stream. Keeping the larger k would feed the
+// (k−1)/max estimator hashes that are not the k smallest of the union
+// and bias Distinct() low (found by FuzzKMVMerge).
 func (s *KMV) Merge(other *KMV) error {
 	if other == nil {
 		return nil
+	}
+	if other.k < s.k {
+		s.k = other.k
 	}
 	for _, h := range other.hashes {
 		if _, dup := s.seen[h]; dup {

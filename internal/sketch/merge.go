@@ -281,6 +281,13 @@ func BuildProfilePartitioned(f *frame.Frame, cfg ProfileConfig, parts int) *Data
 	defer observeSince("build.partitioned", time.Now())
 	cfg.fill(f.Rows())
 	cfg.Spearman = false
+	if f.Rows() == 0 {
+		// No rows means no partitions: the per-partition loop below
+		// would divide by zero and leave merged nil. The one-pass
+		// builder handles the empty frame (found by
+		// FuzzProfileRoundTrip).
+		return BuildProfile(f, cfg)
+	}
 	if parts < 1 {
 		parts = 1
 	}

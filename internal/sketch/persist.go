@@ -36,6 +36,11 @@ type spaceSavingWire struct {
 	Capacity int
 	N        uint64
 	Items    []HeavyHitter
+	// EvictBound carries the untracked-item bound across persistence;
+	// dropping it would silently weaken UntrackedBound after a reload.
+	// Older blobs without the field decode to zero, matching their
+	// pre-bound semantics (gob tolerates the added field both ways).
+	EvictBound uint64
 }
 
 type kmvWire struct {
@@ -122,12 +127,13 @@ func kllFromWire(w kllWire) *KLL {
 }
 
 func spaceSavingToWire(s *SpaceSaving) spaceSavingWire {
-	return spaceSavingWire{Capacity: s.capacity, N: s.n, Items: s.Top(0)}
+	return spaceSavingWire{Capacity: s.capacity, N: s.n, Items: s.Top(0), EvictBound: s.evictBound}
 }
 
 func spaceSavingFromWire(w spaceSavingWire) *SpaceSaving {
 	s := NewSpaceSaving(w.Capacity)
 	s.n = w.N
+	s.evictBound = w.EvictBound
 	for _, h := range w.Items {
 		s.counters[h.Item] = &ssCounter{item: h.Item, count: h.Count, err: h.Err}
 	}

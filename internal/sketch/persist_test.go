@@ -2,9 +2,12 @@ package sketch
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
+
+	"foresight/internal/frame"
 )
 
 func TestProfileSaveLoadRoundTrip(t *testing.T) {
@@ -151,5 +154,139 @@ func TestProfileSaveDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("Save output not deterministic")
+	}
+}
+
+// TestPersistKLLBoundaryStates: the wire format stores raw compactor
+// levels, so a sketch persisted mid-compaction — levels freshly grown
+// by merges, lower levels over their steady-state fill — must reload
+// to the exact same query state and keep compacting correctly when
+// updated further.
+func TestPersistKLLBoundaryStates(t *testing.T) {
+	// Merging many small sketches piles items across levels and forces
+	// grow() inside Merge — the messiest internal state KLL reaches.
+	s := NewKLL(16, 1)
+	for part := 0; part < 12; part++ {
+		p := NewKLL(16, int64(part)+2)
+		for i := 0; i < 300; i++ {
+			p.Update(float64(part*300 + i))
+		}
+		if err := s.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := kllFromWire(kllToWire(s))
+	if loaded.Count() != s.Count() || loaded.K() != s.K() {
+		t.Fatalf("count/k: %d/%d vs %d/%d", loaded.Count(), loaded.K(), s.Count(), s.K())
+	}
+	if loaded.StoredItems() != s.StoredItems() {
+		t.Fatalf("stored items %d vs %d", loaded.StoredItems(), s.StoredItems())
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if a, b := s.Quantile(q), loaded.Quantile(q); a != b {
+			t.Fatalf("Quantile(%v): %v vs %v", q, a, b)
+		}
+	}
+	for _, x := range []float64{-1, 0, 500, 1800, 3600} {
+		if a, b := s.Rank(x), loaded.Rank(x); a != b {
+			t.Fatalf("Rank(%v): %d vs %d", x, a, b)
+		}
+	}
+	// The reloaded sketch must keep absorbing updates (compaction
+	// machinery intact after reconstructing maxSize from the levels).
+	for i := 0; i < 5000; i++ {
+		loaded.Update(float64(i))
+	}
+	if loaded.Count() != s.Count()+5000 {
+		t.Fatalf("post-load updates lost: %d", loaded.Count())
+	}
+	if loaded.StoredItems() >= int(loaded.Count()) {
+		t.Fatal("reloaded sketch never compacted")
+	}
+}
+
+// TestPersistSpaceSavingTrimmedState: a merge of two at-capacity
+// sketches over disjoint items trims back to capacity and leaves a
+// nonzero untracked bound. Both the trimmed counters (with inflated
+// err) and the bound must survive the wire round trip — dropping the
+// bound would resurrect the fuzz-found "zero floor" unsoundness on
+// reload.
+func TestPersistSpaceSavingTrimmedState(t *testing.T) {
+	a, b := NewSpaceSaving(4), NewSpaceSaving(4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j <= i; j++ {
+			a.Update(fmt.Sprintf("a%d", i))
+			b.Update(fmt.Sprintf("b%d", i))
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.TrackedItems() != 4 {
+		t.Fatalf("trimmed to %d, want capacity 4", a.TrackedItems())
+	}
+	if a.UntrackedBound() == 0 {
+		t.Fatal("merged+trimmed sketch must carry a nonzero untracked bound")
+	}
+	loaded := spaceSavingFromWire(spaceSavingToWire(a))
+	if loaded.Count() != a.Count() || loaded.Capacity() != a.Capacity() {
+		t.Fatalf("count/capacity: %d/%d vs %d/%d",
+			loaded.Count(), loaded.Capacity(), a.Count(), a.Capacity())
+	}
+	if got, want := loaded.UntrackedBound(), a.UntrackedBound(); got != want {
+		t.Fatalf("UntrackedBound after round trip = %d, want %d", got, want)
+	}
+	at, lt := a.Top(0), loaded.Top(0)
+	if len(at) != len(lt) {
+		t.Fatalf("top lengths %d vs %d", len(at), len(lt))
+	}
+	for i := range at {
+		if at[i] != lt[i] {
+			t.Fatalf("top[%d]: %+v vs %+v", i, at[i], lt[i])
+		}
+	}
+}
+
+// TestPersistEmptyProfile: a profile of a zero-row frame — empty
+// reservoirs, empty KLL (no compactors filled), zero-count moments —
+// must round-trip and answer queries identically (NaN for NaN).
+func TestPersistEmptyProfile(t *testing.T) {
+	f := frame.MustNew("empty",
+		frame.NewNumericColumn("x", nil),
+		frame.NewCategoricalColumn("cat", nil),
+	)
+	p := BuildProfile(f, ProfileConfig{Seed: 5})
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rows != 0 {
+		t.Fatalf("rows = %d", loaded.Rows)
+	}
+	np := loaded.Numeric["x"]
+	if np == nil {
+		t.Fatal("numeric profile lost")
+	}
+	if got := np.Quantiles.Median(); !math.IsNaN(got) {
+		t.Fatalf("empty median = %v, want NaN", got)
+	}
+	if n := len(np.Sample.Sample()); n != 0 {
+		t.Fatalf("empty reservoir reloaded with %d items", n)
+	}
+	if np.Sample.Count() != 0 {
+		t.Fatalf("empty reservoir count = %d", np.Sample.Count())
+	}
+	// And it must still accept updates after reload.
+	np.Sample.Update(1)
+	if n := len(np.Sample.Sample()); n != 1 {
+		t.Fatalf("post-reload reservoir update lost (%d items)", n)
+	}
+	cp := loaded.Categorical["cat"]
+	if cp == nil || cp.Heavy.Count() != 0 || cp.Distinct.Count() != 0 {
+		t.Fatal("empty categorical state not preserved")
 	}
 }

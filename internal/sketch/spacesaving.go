@@ -14,6 +14,15 @@ type SpaceSaving struct {
 	capacity int
 	counters map[string]*ssCounter
 	n        uint64
+	// evictBound is an upper bound on the true count of any item NOT
+	// currently tracked. For a pure update stream it never exceeds the
+	// minimum tracked count at capacity (the classical floor), but
+	// after merging it can exceed the current floor: merging a
+	// small-capacity sketch that evicted items into a large
+	// under-capacity receiver leaves counters below capacity while
+	// untracked items may still have occurred up to the donor's floor
+	// (found by FuzzSpaceSavingMerge).
+	evictBound uint64
 }
 
 type ssCounter struct {
@@ -90,6 +99,9 @@ func (s *SpaceSaving) admit(item string, weight uint64) {
 		}
 	}
 	delete(s.counters, min.item)
+	if min.count > s.evictBound {
+		s.evictBound = min.count
+	}
 	s.counters[item] = &ssCounter{item: item, count: min.count + weight, err: min.count}
 }
 
@@ -143,8 +155,7 @@ func (s *SpaceSaving) RelFreqTopK(k int) float64 {
 }
 
 // floor returns the smallest tracked count when the sketch is at
-// capacity, else 0. Any item the sketch does NOT track has true count
-// at most floor() — the SpaceSaving invariant the merge leans on.
+// capacity, else 0.
 func (s *SpaceSaving) floor() uint64 {
 	if len(s.counters) < s.capacity {
 		return 0
@@ -160,21 +171,37 @@ func (s *SpaceSaving) floor() uint64 {
 	return min
 }
 
+// UntrackedBound returns an upper bound on the true count of any item
+// the sketch does not currently track: the larger of the classical
+// floor (the minimum tracked count when at capacity) and the carried
+// eviction/merge bound. Consumers that reason about absent items —
+// and the merge itself — must use this rather than the floor alone,
+// because after heterogeneous merges the sketch can sit below
+// capacity while untracked items have nonzero true counts.
+func (s *SpaceSaving) UntrackedBound() uint64 {
+	if f := s.floor(); f > s.evictBound {
+		return f
+	}
+	return s.evictBound
+}
+
 // Merge folds other into s: the conservative SpaceSaving merge.
 // Counters tracked on both sides sum their counts and error bounds.
 // A counter tracked on only one side may still have occurred up to
-// the other side's floor (its minimum count at capacity) without
-// being tracked there, so that floor is added to BOTH its count and
-// its error bound — raising the estimate keeps `est ≥ true` and
-// raising err by the same amount keeps `est ≤ true + err`. Then the
-// top `capacity` counters by count survive; every evicted count is ≤
-// the surviving minimum, so the untracked-item invariant
-// (true ≤ floor) still holds for them.
+// the other side's UntrackedBound without being tracked there, so
+// that bound is added to BOTH its count and its error bound — raising
+// the estimate keeps `est ≥ true` and raising err by the same amount
+// keeps `est ≤ true + err`. Then the top `capacity` counters by count
+// survive. An item untracked in the result either was untracked on
+// both sides (true ≤ boundS + boundO) or was trimmed here (true ≤ its
+// merged count), so the carried bound becomes the max of those — NOT
+// the result's floor, which reads zero whenever the merge lands below
+// capacity (found by FuzzSpaceSavingMerge).
 func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 	if other == nil {
 		return nil
 	}
-	floorS, floorO := s.floor(), other.floor()
+	boundS, boundO := s.UntrackedBound(), other.UntrackedBound()
 	merged := make(map[string]*ssCounter, len(s.counters)+len(other.counters))
 	for item, c := range s.counters {
 		merged[item] = &ssCounter{item: item, count: c.count, err: c.err}
@@ -184,15 +211,16 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 			m.count += c.count
 			m.err += c.err
 		} else {
-			merged[item] = &ssCounter{item: item, count: c.count + floorS, err: c.err + floorS}
+			merged[item] = &ssCounter{item: item, count: c.count + boundS, err: c.err + boundS}
 		}
 	}
 	for item, m := range merged {
 		if _, both := other.counters[item]; !both {
-			m.count += floorO
-			m.err += floorO
+			m.count += boundO
+			m.err += boundO
 		}
 	}
+	bound := boundS + boundO
 	if len(merged) > s.capacity {
 		all := make([]*ssCounter, 0, len(merged))
 		for _, c := range merged {
@@ -204,6 +232,11 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 			}
 			return all[a].item < all[b].item
 		})
+		for _, c := range all[s.capacity:] {
+			if c.count > bound {
+				bound = c.count
+			}
+		}
 		merged = make(map[string]*ssCounter, s.capacity)
 		for _, c := range all[:s.capacity] {
 			merged[c.item] = c
@@ -211,19 +244,26 @@ func (s *SpaceSaving) Merge(other *SpaceSaving) error {
 	}
 	s.counters = merged
 	s.n += other.n
+	s.evictBound = bound
 	return nil
 }
 
 // TrackedItems returns the number of counters currently held.
 func (s *SpaceSaving) TrackedItems() int { return len(s.counters) }
 
+// Capacity returns the counter budget. Together with Top(0) it lets
+// callers recover the sketch's floor (the minimum tracked count when
+// at capacity), which bounds the true count of any untracked item.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
 // Clone returns a deep copy of the sketch; the copy can be updated or
 // merged independently of the original.
 func (s *SpaceSaving) Clone() *SpaceSaving {
 	c := &SpaceSaving{
-		capacity: s.capacity,
-		counters: make(map[string]*ssCounter, len(s.counters)),
-		n:        s.n,
+		capacity:   s.capacity,
+		counters:   make(map[string]*ssCounter, len(s.counters)),
+		n:          s.n,
+		evictBound: s.evictBound,
 	}
 	for item, ctr := range s.counters {
 		cp := *ctr
