@@ -7,7 +7,7 @@
 //	foresight info      -data file.csv
 //	foresight carousels -data file.csv [-k 5] [-approx]
 //	foresight query     -data file.csv -class linear [-metric spearman]
-//	                    [-fix attr1,attr2] [-min 0.5] [-max 0.8] [-k 10] [-approx]
+//	                    [-fix attr1,attr2] [-min 0.5] [-max 0.8] [-k 10] [-approx] [-prune=false]
 //	foresight overview  -data file.csv [-class linear] [-svg out.svg]
 //	foresight render    -data file.csv -class linear -attrs x,y -svg out.svg
 //	foresight selfcheck -data file.csv [-profile store.bin] [-parts 3] [-shards 4] [-tol 0.07]
@@ -115,13 +115,15 @@ func loadData(path string, seed int64) (*foresight.Frame, error) {
 }
 
 func newEngine(f *foresight.Frame, approx bool, seed int64) (*foresight.Engine, error) {
-	return newEngineWithProfile(f, approx, seed, "", 0)
+	return newEngineWithProfile(f, approx, false, seed, "", 0)
 }
 
-// newEngineWithProfile builds the engine; when approx is requested a
-// sketch store is loaded from profilePath (if given) or built fresh —
-// with the sharded data-parallel builder when buildShards != 0.
-func newEngineWithProfile(f *foresight.Frame, approx bool, seed int64, profilePath string, buildShards int) (*foresight.Engine, error) {
+// newEngineWithProfile builds the engine; when approx or prune is
+// requested a sketch store is loaded from profilePath (if given) or
+// built fresh — with the sharded data-parallel builder when
+// buildShards != 0. Pruning needs the store only for its cheap score
+// bounds; exact queries still score from raw data.
+func newEngineWithProfile(f *foresight.Frame, approx, prune bool, seed int64, profilePath string, buildShards int) (*foresight.Engine, error) {
 	var profile *foresight.Profile
 	if profilePath != "" {
 		file, err := os.Open(profilePath)
@@ -133,11 +135,16 @@ func newEngineWithProfile(f *foresight.Frame, approx bool, seed int64, profilePa
 		if err != nil {
 			return nil, err
 		}
-	} else if approx {
+	} else if approx || prune {
 		profile = foresight.BuildProfileSharded(f,
 			foresight.ProfileConfig{Seed: seed, Spearman: true}, buildShards)
 	}
-	return foresight.NewEngine(f, foresight.NewRegistry(), profile)
+	engine, err := foresight.NewEngine(f, foresight.NewRegistry(), profile)
+	if err != nil {
+		return nil, err
+	}
+	engine.SetPruning(prune)
+	return engine, nil
 }
 
 func runInfo(args []string) error {
@@ -167,6 +174,7 @@ func runCarousels(args []string) error {
 	data := fs.String("data", "", "CSV path or demo dataset name")
 	k := fs.Int("k", 5, "insights per class")
 	approx := fs.Bool("approx", false, "answer from sketches")
+	prune := fs.Bool("prune", true, "bound-based top-k candidate pruning (identical results; builds the sketch store)")
 	workers := fs.Int("workers", 1, "parallel scoring workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
 	_ = fs.Parse(args)
@@ -174,7 +182,7 @@ func runCarousels(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := newEngine(f, *approx, *seed)
+	engine, err := newEngineWithProfile(f, *approx, *prune, *seed, "", 0)
 	if err != nil {
 		return err
 	}
@@ -204,9 +212,10 @@ func runQuery(args []string) error {
 	metric := fs.String("metric", "", "ranking metric (empty = class default)")
 	fix := fs.String("fix", "", "comma-separated fixed attributes")
 	minScore := fs.Float64("min", 0, "minimum strength")
-	maxScore := fs.Float64("max", 0, "maximum strength (0 = unbounded)")
+	maxScore := fs.Float64("max", 0, "maximum strength (0 = unbounded; negative is an error)")
 	k := fs.Int("k", 10, "top-k per class")
 	approx := fs.Bool("approx", false, "answer from sketches")
+	prune := fs.Bool("prune", true, "bound-based top-k candidate pruning (identical results; builds the sketch store)")
 	profilePath := fs.String("profile", "", "load a saved sketch store (implies -approx)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
 	_ = fs.Parse(args)
@@ -217,7 +226,7 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath, 0)
+	engine, err := newEngineWithProfile(f, *approx, *prune, *seed, *profilePath, 0)
 	if err != nil {
 		return err
 	}
@@ -343,6 +352,7 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "parallel scoring workers (0 = GOMAXPROCS)")
 	buildShards := fs.Int("build-shards", 0, "parallel profile-build shards for preprocessing and large ingest batches (0 = sequential, <0 = GOMAXPROCS)")
 	cache := fs.Bool("cache", true, "memoize insight scores across queries")
+	prune := fs.Bool("prune", true, "bound-based top-k candidate pruning (results are identical either way; off = score every candidate)")
 	profilePath := fs.String("profile", "", "load a saved sketch store (implies -approx)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
 	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request API deadline (0 = none)")
@@ -356,7 +366,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine, err := newEngineWithProfile(f, *approx, *seed, *profilePath, *buildShards)
+	engine, err := newEngineWithProfile(f, *approx, *prune, *seed, *profilePath, *buildShards)
 	if err != nil {
 		return err
 	}
@@ -373,8 +383,8 @@ func runServe(args []string) error {
 		MaxInflight:    *maxInflight,
 		QueryLogSample: *queryLogSample,
 	})
-	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v; /metrics, /api/stats, /api/debug/insights)\n",
-		f.Summary(), *addr, engine.Workers(), *cache)
+	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v prune=%v; /metrics, /api/stats, /api/debug/insights)\n",
+		f.Summary(), *addr, engine.Workers(), *cache, engine.PruningEnabled())
 
 	// Same lifecycle discipline as cmd/foresightd: listener timeouts
 	// against stalled clients, SIGINT/SIGTERM drains in-flight

@@ -4,7 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"foresight"
+	"foresight/internal/core"
 	"foresight/internal/sketch"
 	"foresight/internal/sketch/sketchcheck"
 )
@@ -14,7 +17,10 @@ import (
 // persist→load and Clone query identity, and cross-checks of the
 // partitioned/sharded/extend build paths against the sequential build
 // within -tol. With -profile it instead verifies an already-persisted
-// sketch store against the dataset it claims to summarize. Exits
+// sketch store against the dataset it claims to summarize. It then
+// cross-checks the pruning contract — ScoreBound ≥ Score on sampled
+// candidates of every bounded insight class, both scoring paths —
+// since an unsound bound would silently change top-k results. Exits
 // non-zero when any invariant is violated, so it slots into CI and
 // operational smoke tests directly.
 func runSelfcheck(args []string) error {
@@ -24,6 +30,7 @@ func runSelfcheck(args []string) error {
 	parts := fs.Int("parts", 3, "partitions for the partitioned-build path")
 	shards := fs.Int("shards", 4, "shards for the sharded-build and extend paths")
 	tol := fs.Float64("tol", 0.07, "estimator-delta gate between build paths (the E13 gate)")
+	boundSample := fs.Int("bound-sample", 64, "candidates sampled per class/metric for the ScoreBound ≥ Score gate (0 = all)")
 	seed := fs.Int64("seed", 42, "seed for demo datasets / sketches")
 	_ = fs.Parse(args)
 	f, err := loadData(*data, *seed)
@@ -32,13 +39,14 @@ func runSelfcheck(args []string) error {
 	}
 
 	var r *sketchcheck.Report
+	var p *sketch.DatasetProfile
 	if *profilePath != "" {
 		file, err := os.Open(*profilePath)
 		if err != nil {
 			return err
 		}
 		defer file.Close()
-		p, err := sketch.LoadProfile(file)
+		p, err = sketch.LoadProfile(file)
 		if err != nil {
 			return err
 		}
@@ -50,10 +58,21 @@ func runSelfcheck(args []string) error {
 			Shards:   *shards,
 			ScoreTol: *tol,
 		})
+		p = sketch.BuildProfile(f, sketch.ProfileConfig{Seed: *seed, Spearman: true})
 	}
 	sketchcheck.WriteReport(os.Stdout, r)
-	if !r.Ok() {
-		return fmt.Errorf("selfcheck: %d invariant violation(s)", len(r.Violations))
+
+	violations := core.CheckScoreBounds(foresight.NewRegistry(), f, p, *boundSample)
+	if len(violations) == 0 {
+		fmt.Printf("score-bound gate OK: ScoreBound ≥ Score on sampled candidates (sample=%d per class/metric)\n", *boundSample)
+	}
+	for _, v := range violations {
+		fmt.Printf("VIOLATION score-bound %s/%s %s (%s): score %v > bound %v\n",
+			v.Class, v.Metric, strings.Join(v.Attrs, ","), v.Mode, v.Score, v.Bound)
+	}
+
+	if !r.Ok() || len(violations) > 0 {
+		return fmt.Errorf("selfcheck: %d invariant violation(s)", len(r.Violations)+len(violations))
 	}
 	return nil
 }

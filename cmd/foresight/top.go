@@ -116,11 +116,11 @@ func renderTop(snap telemetry.Snapshot, stats topStats, topN int) string {
 				classW = len(c.Class)
 			}
 		}
-		fmt.Fprintf(&b, "\n%-*s %8s %9s %8s %8s %7s %7s %7s  %s\n",
-			classW, "CLASS", "QUERIES", "CANDS", "PRUNED", "EMITTED", "P50", "P90", "P99", "MARGIN TREND")
+		fmt.Fprintf(&b, "\n%-*s %8s %9s %8s %8s %8s %7s %7s %7s  %s\n",
+			classW, "CLASS", "QUERIES", "CANDS", "PRUNED", "FILTERED", "EMITTED", "P50", "P90", "P99", "MARGIN TREND")
 		for _, c := range snap.Classes {
-			fmt.Fprintf(&b, "%-*s %8d %9d %8d %8d %7s %7s %7s  %s\n",
-				classW, c.Class, c.Queries, c.Candidates, c.Pruned, c.Emitted,
+			fmt.Fprintf(&b, "%-*s %8d %9d %8d %8d %8d %7s %7s %7s  %s\n",
+				classW, c.Class, c.Queries, c.Candidates, c.Pruned, c.Filtered, c.Emitted,
 				formatQuantile(c.Quantiles, "p50"),
 				formatQuantile(c.Quantiles, "p90"),
 				formatQuantile(c.Quantiles, "p99"),

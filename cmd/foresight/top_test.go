@@ -19,7 +19,8 @@ func sampleSnapshot() telemetry.Snapshot {
 				Class:      "linear",
 				Queries:    40,
 				Candidates: 4000,
-				Pruned:     3800,
+				Pruned:     3100,
+				Filtered:   700,
 				Emitted:    200,
 				ScoreCount: 4000,
 				Quantiles:  map[string]float64{"p50": 0.41, "p90": 0.77, "p99": 0.93},
@@ -60,6 +61,8 @@ func TestRenderTop(t *testing.T) {
 		"queries=42",
 		"resets=1",
 		"ε=±0.031",
+		"PRUNED", "FILTERED",
+		"3100", "700", // pruned (never scored) vs filtered (scored, dropped)
 		"linear",
 		"0.410", "0.770", "0.930", // p50/p90/p99
 		"life_expectancy(120)",

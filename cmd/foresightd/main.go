@@ -61,6 +61,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel candidate-scoring workers (0 = GOMAXPROCS)")
 	buildShards := flag.Int("build-shards", 0, "parallel profile-build shards for startup preprocessing and large ingest batches (0 = sequential, <0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "memoize insight scores across queries")
+	prune := flag.Bool("prune", true, "bound-based top-k candidate pruning (results are identical either way; off = score every candidate)")
 	seed := flag.Int64("seed", 42, "seed for demo datasets / sketches")
 	slowMS := flag.Int("slow-ms", 0, "only record request traces at least this slow (0 = record all)")
 	quiet := flag.Bool("quiet", false, "suppress per-request JSON logs on stderr")
@@ -88,8 +89,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("foresightd: %v", err)
 	}
+	// Pruning needs the sketch profile for its score bounds, so -prune
+	// triggers the same preprocessing -approx does (exact queries still
+	// read raw data; only the bounds come from the sketches).
 	var profile *foresight.Profile
-	if *approx {
+	if *approx || *prune {
 		log.Printf("preprocessing sketches for %s...", f.Summary())
 		profile = foresight.BuildProfileSharded(f,
 			foresight.ProfileConfig{Seed: *seed, Spearman: true}, *buildShards)
@@ -101,6 +105,7 @@ func main() {
 	engine.SetWorkers(*workers)
 	engine.SetBuildShards(*buildShards)
 	engine.SetCacheEnabled(*cache)
+	engine.SetPruning(*prune)
 
 	opts := server.Options{
 		Registry:           reg,
@@ -138,8 +143,8 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v timeout=%v max-inflight=%d; /metrics, /api/stats, /api/debug/traces, /api/debug/insights)",
-		version, f.Summary(), *addr, engine.Workers(), *cache, *requestTimeout, *maxInflight)
+	log.Printf("foresightd %s: serving %s on http://localhost%s (workers=%d cache=%v prune=%v timeout=%v max-inflight=%d; /metrics, /api/stats, /api/debug/traces, /api/debug/insights)",
+		version, f.Summary(), *addr, engine.Workers(), *cache, *prune, *requestTimeout, *maxInflight)
 	if err := runUntilSignalled(httpSrv, *shutdownGrace); err != nil {
 		log.Fatalf("foresightd: %v", err)
 	}

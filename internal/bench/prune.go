@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/frame"
+	"foresight/internal/query"
+	"foresight/internal/sketch"
+)
+
+// E16Config sizes the pruning experiment.
+type E16Config struct {
+	// K is the per-class top-k of the timed/zero-delta queries.
+	K    int
+	Seed int64
+}
+
+// RunE16Pruning measures bound-based top-k candidate pruning
+// (query.Engine.SetPruning, ISSUE 9) on the three demo datasets. Two
+// gates and one efficacy measure:
+//
+//   - Zero-delta gate: Execute with pruning on must return byte-for-
+//     byte the insights pruning off returns (same classes, scores,
+//     attrs, order), across exact and approximate paths and with and
+//     without a MinScore filter. Pruning is an optimization, never a
+//     result change.
+//   - Efficacy gate: at least one dataset must actually skip a nonzero
+//     fraction of candidates, otherwise the machinery is dead weight.
+//   - Timing: cold-cache wall clock of the pruned vs unpruned top-k
+//     pass (best of 2). Pruning wins by not scoring candidates, so the
+//     speedup scales with the skip fraction and per-candidate cost.
+//
+// The success line ("pruning: ...") only prints when both gates hold;
+// CI greps for it.
+func RunE16Pruning(w io.Writer, outDir string, cfg E16Config) error {
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	datasets := []struct {
+		name string
+		f    *frame.Frame
+	}{
+		{"oecd", datagen.OECD(0, cfg.Seed)},
+		{"parkinson", datagen.Parkinson(0, cfg.Seed)},
+		{"imdb", datagen.IMDB(0, cfg.Seed)},
+	}
+
+	t := NewTable(fmt.Sprintf("E16: bound-based top-k pruning (k=%d)", cfg.K),
+		"dataset", "rows", "considered", "pruned", "skip", "off", "on", "speedup", "max |Δscore|")
+
+	queries := func(k int) []query.Query {
+		return []query.Query{
+			{K: k},
+			{K: k, Approx: true},
+			{K: k, MinScore: 0.3},
+			{MinScore: 0.5},
+		}
+	}
+
+	identical := true
+	anySkipped := false
+	worstDelta := 0.0
+	for _, d := range datasets {
+		p := sketch.BuildProfile(d.f, sketch.ProfileConfig{Seed: cfg.Seed, Spearman: true})
+		on, err := query.NewEngine(d.f, core.NewRegistry(), p)
+		if err != nil {
+			return err
+		}
+		off, err := query.NewEngine(d.f, core.NewRegistry(), p)
+		if err != nil {
+			return err
+		}
+		off.SetPruning(false)
+		// Cold scoring on every run: the memo would otherwise hide the
+		// scoring work this experiment measures (and the equality gate
+		// should compare computed results, not cached ones). Both
+		// engines score with the full worker pool — pruning must win by
+		// skipping work, not by a parallelism asymmetry.
+		on.SetCacheEnabled(false)
+		off.SetCacheEnabled(false)
+		on.SetWorkers(0)
+		off.SetWorkers(0)
+
+		// Zero-delta gate across the query matrix.
+		delta := 0.0
+		for _, q := range queries(cfg.K) {
+			ra, errA := on.Execute(q)
+			rb, errB := off.Execute(q)
+			if errA != nil || errB != nil {
+				return fmt.Errorf("e16: %s execute: on=%v off=%v", d.name, errA, errB)
+			}
+			if dq := resultDelta(ra, rb); math.IsNaN(dq) {
+				identical = false
+				fmt.Fprintf(w, "WARNING: %s: pruned and unpruned results differ structurally for %+v.\n", d.name, q)
+			} else if dq > delta {
+				delta = dq
+			}
+		}
+		if delta > 0 {
+			identical = false
+		}
+		if delta > worstDelta {
+			worstDelta = delta
+		}
+
+		// Efficacy: pruning counters over one cold top-k pass.
+		before := on.PruneStats()
+		if _, err := on.Execute(query.Query{K: cfg.K}); err != nil {
+			return err
+		}
+		after := on.PruneStats()
+		considered := after.Considered - before.Considered
+		pruned := after.Pruned - before.Pruned
+		skip := 0.0
+		if considered > 0 {
+			skip = float64(pruned) / float64(considered)
+		}
+		if pruned > 0 {
+			anySkipped = true
+		}
+
+		q := query.Query{K: cfg.K}
+		offTime := bestOf2(func() {
+			if _, err := off.Execute(q); err != nil {
+				panic(err)
+			}
+		})
+		onTime := bestOf2(func() {
+			if _, err := on.Execute(q); err != nil {
+				panic(err)
+			}
+		})
+		t.AddRow(d.name, d.f.Rows(), considered, pruned,
+			fmt.Sprintf("%.1f%%", 100*skip),
+			offTime.Round(10*time.Microsecond), onTime.Round(10*time.Microsecond),
+			fmt.Sprintf("%.2fx", float64(offTime)/float64(onTime)),
+			fmt.Sprintf("%.4g", delta))
+	}
+	t.Print(w)
+
+	ok := true
+	if !identical {
+		ok = false
+		fmt.Fprintf(w, "WARNING: pruning changed results (max |Δscore| %.6g > 0) — bounds are unsound somewhere.\n", worstDelta)
+	}
+	if !anySkipped {
+		ok = false
+		fmt.Fprintln(w, "WARNING: pruning never skipped a candidate on any dataset — bounds are not discriminating.")
+	}
+	if ok {
+		fmt.Fprintf(w, "pruning: zero score delta vs -prune=off on all %d datasets, with a nonzero skip fraction observed.\n",
+			len(datasets))
+	}
+	return t.WriteTSV(outDir, "e16_pruning")
+}
+
+// resultDelta compares two Execute results: the maximum absolute
+// score difference over aligned insights, or NaN when the structure
+// (classes, metrics, counts, attrs, ordering) differs at all.
+func resultDelta(a, b []query.Result) float64 {
+	if len(a) != len(b) {
+		return math.NaN()
+	}
+	max := 0.0
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Metric != b[i].Metric ||
+			len(a[i].Insights) != len(b[i].Insights) {
+			return math.NaN()
+		}
+		for j := range a[i].Insights {
+			ia, ib := a[i].Insights[j], b[i].Insights[j]
+			if !reflect.DeepEqual(ia.Attrs, ib.Attrs) {
+				return math.NaN()
+			}
+			if d := math.Abs(ia.Score - ib.Score); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -136,11 +136,18 @@ func NewEmptyRegistry() *Registry {
 	return &Registry{byName: make(map[string]Class)}
 }
 
-// Register adds a class; duplicate names are rejected.
+// Register adds a class; duplicate names, empty names, and classes
+// declaring no metrics are rejected. The zero-metric check matters:
+// the query engine resolves an unspecified metric to Metrics()[0], so
+// a metric-less class would panic at query time instead of failing
+// loudly here.
 func (r *Registry) Register(c Class) error {
 	name := c.Name()
 	if name == "" {
 		return fmt.Errorf("core: class with empty name")
+	}
+	if len(c.Metrics()) == 0 {
+		return fmt.Errorf("core: insight class %q declares no metrics", name)
 	}
 	if _, dup := r.byName[name]; dup {
 		return fmt.Errorf("core: duplicate insight class %q", name)

@@ -98,9 +98,13 @@ type ClassSample struct {
 	Attrs [][]string
 	// Candidates is the number of candidate tuples enumerated.
 	Candidates int
-	// Pruned is the number of scored candidates dropped by NaN or
-	// strength-range filters before ranking.
+	// Pruned is the number of candidates skipped outright — never
+	// scored — by the engine's bound-based top-k pruning.
 	Pruned int
+	// Filtered is the number of scored candidates dropped by NaN or
+	// strength-range filters before ranking. (Before pruning existed
+	// this count was misreported as Pruned.)
+	Filtered int
 	// Emitted is the number of insights returned after top-k.
 	Emitted int
 	// Margin is the top-k score margin: the score of the weakest
@@ -128,15 +132,16 @@ type QuerySample struct {
 // two are combined with merge, which rides the sketch layer's own
 // Merge operators.
 type classAgg struct {
-	scores  *sketch.KLL
-	cols    *sketch.SpaceSaving
-	tuples  *sketch.SpaceSaving
-	margins []MarginPoint // bounded window, oldest first
-	keyBuf  []byte        // scratch for tuple keys; reused across folds
-	queries uint64
-	cands   uint64
-	pruned  uint64
-	emitted uint64
+	scores   *sketch.KLL
+	cols     *sketch.SpaceSaving
+	tuples   *sketch.SpaceSaving
+	margins  []MarginPoint // bounded window, oldest first
+	keyBuf   []byte        // scratch for tuple keys; reused across folds
+	queries  uint64
+	cands    uint64
+	pruned   uint64
+	filtered uint64
+	emitted  uint64
 }
 
 // MarginPoint is one observed top-k margin, tagged with the generation
@@ -165,6 +170,7 @@ func (a *classAgg) fold(s ClassSample, window int, gen, seq uint64) {
 	a.queries++
 	a.cands += uint64(s.Candidates)
 	a.pruned += uint64(s.Pruned)
+	a.filtered += uint64(s.Filtered)
 	a.emitted += uint64(s.Emitted)
 	a.scores.UpdateAll(s.Scores)
 	for _, attrs := range s.Attrs {
@@ -192,6 +198,7 @@ func (a *classAgg) merge(other *classAgg, window int) {
 	a.queries += other.queries
 	a.cands += other.cands
 	a.pruned += other.pruned
+	a.filtered += other.filtered
 	a.emitted += other.emitted
 	_ = a.scores.Merge(other.scores)
 	_ = a.cols.Merge(other.cols)
@@ -249,6 +256,7 @@ type QueryRecord struct {
 	Classes    int     `json:"classes"`
 	Candidates int     `json:"candidates"`
 	Pruned     int     `json:"pruned"`
+	Filtered   int     `json:"filtered"`
 	Emitted    int     `json:"emitted"`
 	// MinMargin is the tightest top-k margin across the query's
 	// classes, or -1 when no class truncated.
@@ -258,12 +266,13 @@ type QueryRecord struct {
 // metricsSet bundles the registered Prometheus collectors (nil when
 // uninstrumented).
 type metricsSet struct {
-	queries *obs.CounterVec
-	cands   *obs.CounterVec
-	pruned  *obs.CounterVec
-	emitted *obs.CounterVec
-	scores  *obs.HistogramVec
-	margins *obs.HistogramVec
+	queries  *obs.CounterVec
+	cands    *obs.CounterVec
+	pruned   *obs.CounterVec
+	filtered *obs.CounterVec
+	emitted  *obs.CounterVec
+	scores   *obs.HistogramVec
+	margins  *obs.HistogramVec
 	// byClass caches the resolved per-class children so the Record hot
 	// path pays one lock-free lookup per class instead of six labeled
 	// vec resolutions. The class set is small and stable.
@@ -272,8 +281,8 @@ type metricsSet struct {
 
 // classMetrics holds one class's resolved metric children.
 type classMetrics struct {
-	queries, cands, pruned, emitted *obs.Counter
-	scores, margins                 *obs.Histogram
+	queries, cands, pruned, filtered, emitted *obs.Counter
+	scores, margins                           *obs.Histogram
 }
 
 // forClass returns the cached children for class, resolving them once.
@@ -282,12 +291,13 @@ func (m *metricsSet) forClass(class string) *classMetrics {
 		return c.(*classMetrics)
 	}
 	c, _ := m.byClass.LoadOrStore(class, &classMetrics{
-		queries: m.queries.With(class),
-		cands:   m.cands.With(class),
-		pruned:  m.pruned.With(class),
-		emitted: m.emitted.With(class),
-		scores:  m.scores.With(class),
-		margins: m.margins.With(class),
+		queries:  m.queries.With(class),
+		cands:    m.cands.With(class),
+		pruned:   m.pruned.With(class),
+		filtered: m.filtered.With(class),
+		emitted:  m.emitted.With(class),
+		scores:   m.scores.With(class),
+		margins:  m.margins.With(class),
 	})
 	return c.(*classMetrics)
 }
@@ -377,6 +387,8 @@ func (t *Insights) Instrument(reg *obs.Registry) {
 		cands: reg.CounterVec("foresight_insight_candidates_total",
 			"Candidate tuples enumerated, by insight class.", "class"),
 		pruned: reg.CounterVec("foresight_insight_pruned_total",
+			"Candidates skipped (never scored) by bound-based top-k pruning, by insight class.", "class"),
+		filtered: reg.CounterVec("foresight_insight_filtered_total",
 			"Scored candidates dropped by NaN/strength filters, by insight class.", "class"),
 		emitted: reg.CounterVec("foresight_insight_emitted_total",
 			"Insights returned to clients, by insight class.", "class"),
@@ -450,6 +462,7 @@ func (t *Insights) Record(s QuerySample) {
 			cm.queries.Inc()
 			cm.cands.Add(uint64(cs.Candidates))
 			cm.pruned.Add(uint64(cs.Pruned))
+			cm.filtered.Add(uint64(cs.Filtered))
 			cm.emitted.Add(uint64(cs.Emitted))
 			cm.scores.ObserveAll(cs.Scores)
 			if !math.IsNaN(cs.Margin) {
@@ -466,6 +479,7 @@ func (t *Insights) Record(s QuerySample) {
 			"classes":      rec.Classes,
 			"candidates":   rec.Candidates,
 			"pruned":       rec.Pruned,
+			"filtered":     rec.Filtered,
 			"emitted":      rec.Emitted,
 			"min_margin":   rec.MinMargin,
 			"sampled_1_in": t.sampleEvery,
@@ -511,6 +525,7 @@ func queryRecordFor(s QuerySample) QueryRecord {
 	for _, cs := range s.Classes {
 		rec.Candidates += cs.Candidates
 		rec.Pruned += cs.Pruned
+		rec.Filtered += cs.Filtered
 		rec.Emitted += cs.Emitted
 		if !math.IsNaN(cs.Margin) && (rec.MinMargin < 0 || cs.Margin < rec.MinMargin) {
 			rec.MinMargin = cs.Margin
@@ -531,8 +546,14 @@ type ClassSnapshot struct {
 	Class      string `json:"class"`
 	Queries    uint64 `json:"queries"`
 	Candidates uint64 `json:"candidates"`
-	Pruned     uint64 `json:"pruned"`
-	Emitted    uint64 `json:"emitted"`
+	// Pruned counts candidates skipped (never scored) by bound-based
+	// top-k pruning; Filtered counts scored candidates dropped by
+	// NaN/strength filters. Before pruning existed, the "pruned" JSON
+	// field carried what "filtered" now reports — both fields are
+	// served so dashboards keep working with corrected semantics.
+	Pruned   uint64 `json:"pruned"`
+	Filtered uint64 `json:"filtered"`
+	Emitted  uint64 `json:"emitted"`
 	// ScoreCount is the number of scores folded into the quantile
 	// sketch; Quantiles is empty when it is zero.
 	ScoreCount uint64             `json:"score_count"`
@@ -648,6 +669,7 @@ func (t *Insights) Snapshot(currentGen uint64, topN int) Snapshot {
 			Queries:    a.queries,
 			Candidates: a.cands,
 			Pruned:     a.pruned,
+			Filtered:   a.filtered,
 			Emitted:    a.emitted,
 			ScoreCount: a.scores.Count(),
 			Margins:    append([]MarginPoint(nil), a.margins...),

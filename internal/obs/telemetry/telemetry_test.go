@@ -21,7 +21,7 @@ func sampleFor(class string, scores []float64, attrs [][]string) QuerySample {
 		Op: "execute", Generation: 1, DurationMS: 1,
 		Classes: []ClassSample{{
 			Class: class, Scores: scores, Attrs: attrs,
-			Candidates: len(scores) + 2, Pruned: 2, Emitted: len(scores),
+			Candidates: len(scores) + 2, Pruned: 2, Filtered: 1, Emitted: len(scores),
 			Margin: math.NaN(),
 		}},
 	}
@@ -111,7 +111,7 @@ func TestCountersHotColumnsAndMargins(t *testing.T) {
 		t.Fatalf("classes = %d", len(snap.Classes))
 	}
 	cs := snap.Classes[0]
-	if cs.Queries != 10 || cs.Emitted != 20 || cs.Pruned != 20 || cs.Candidates != 40 {
+	if cs.Queries != 10 || cs.Emitted != 20 || cs.Pruned != 20 || cs.Filtered != 10 || cs.Candidates != 40 {
 		t.Fatalf("counters = %+v", cs)
 	}
 	if len(cs.HotColumns) == 0 || cs.HotColumns[0].Item != "price" {
@@ -266,6 +266,7 @@ func TestInstrumentExportsFamilies(t *testing.T) {
 		`foresight_insight_class_queries_total{class="outlier"} 1`,
 		`foresight_insight_emitted_total{class="outlier"} 2`,
 		`foresight_insight_pruned_total{class="outlier"} 2`,
+		`foresight_insight_filtered_total{class="outlier"} 1`,
 		`foresight_insight_candidates_total{class="outlier"} 4`,
 		`foresight_insight_score_count{class="outlier"} 2`,
 		`foresight_insight_topk_margin_count{class="outlier"} 1`,

@@ -154,6 +154,32 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 }
 
+// lookupAll peeks the memo for a batch of candidates without scoring,
+// waiting, or creating in-flight slots: slot i is nil unless the live
+// generation matches gen and holds a memoized score for candidate i.
+// The pruned scoring path uses this to seed its top-k threshold from
+// scores that are already known — hits are counted (the candidates
+// are answered from the memo and never reach scoreCandidates), misses
+// are not (a missing candidate is either scored later, where it
+// counts normally, or pruned, in which case it was never looked up as
+// work).
+func (sc *scoreCache) lookupAll(gen uint64, class, metric string, approx bool, cands [][]string) []*core.Insight {
+	out := make([]*core.Insight, len(cands))
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.disabled || sc.gen != gen {
+		return out
+	}
+	for i, attrs := range cands {
+		if in, ok := sc.entries[keyFor(class, metric, approx, attrs)]; ok {
+			in := in
+			out[i] = &in
+			sc.hits++
+		}
+	}
+	return out
+}
+
 // scoreCandidates returns one scored slot per candidate tuple, in
 // candidate order (scoring errors become zero-value slots with NaN
 // score, recognizable by an empty Class). Slots are served from the

@@ -157,12 +157,13 @@ func (e *Engine) OverviewContext(ctx context.Context, className, metric string, 
 	core.SortInsights(ov.Insights)
 	if telem := e.telem.Load(); telem != nil {
 		// An overview emits every scored tuple (no top-k), so the
-		// sample has no margin; pruned counts the tuples whose metric
-		// was undefined or whose scoring errored.
+		// sample has no margin and nothing is ever pruned; filtered
+		// counts the tuples whose metric was undefined or whose
+		// scoring errored.
 		st := telemetry.ClassSample{
 			Class:      className,
 			Candidates: len(cands),
-			Pruned:     len(cands) - len(ov.Insights),
+			Filtered:   len(cands) - len(ov.Insights),
 			Emitted:    len(ov.Insights),
 			Margin:     math.NaN(),
 			Scores:     make([]float64, len(ov.Insights)),

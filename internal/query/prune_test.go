@@ -1,0 +1,224 @@
+package query
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"foresight/internal/core"
+	"foresight/internal/frame"
+	"foresight/internal/obs/telemetry"
+	"foresight/internal/sketch"
+)
+
+// pruneMatrix is the query shapes the equivalence suite replays:
+// top-k, strength filters, both scoring paths, fixed attributes,
+// metric overrides, and a semantic restriction.
+func pruneMatrix() []Query {
+	return []Query{
+		{K: 3},
+		{K: 1},
+		{K: 3, Approx: true},
+		{K: 4, MinScore: 0.3},
+		{MinScore: 0.5},
+		{K: 2, Classes: []string{"linear"}, Metric: "r2"},
+		{K: 3, Fixed: []string{"a"}, MinScore: 0.1},
+		{K: 2, Semantic: frame.SemanticCurrency},
+	}
+}
+
+// prunePair builds two engines over the same frame and profile, one
+// with pruning (the default), one with the -prune=off escape hatch.
+func prunePair(t *testing.T, f *frame.Frame, p *sketch.DatasetProfile) (on, off *Engine) {
+	t.Helper()
+	var err error
+	if on, err = NewEngine(f, core.NewRegistry(), p); err != nil {
+		t.Fatal(err)
+	}
+	if off, err = NewEngine(f, core.NewRegistry(), p); err != nil {
+		t.Fatal(err)
+	}
+	off.SetPruning(false)
+	if !on.PruningEnabled() || off.PruningEnabled() {
+		t.Fatal("pruning toggle wiring broken")
+	}
+	return on, off
+}
+
+// TestPruningEquivalence is the contract test of ISSUE 9: with sound
+// bounds, pruning must be invisible in results. Every query shape is
+// run twice (the second pass exercises the memo-seeded threshold) and
+// compared deeply — scores, attrs, ordering, details — against the
+// unpruned engine; Overview and Neighborhood are compared too.
+func TestPruningEquivalence(t *testing.T) {
+	f := testFrame(800, 3)
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{Seed: 3, Spearman: true})
+	on, off := prunePair(t, f, p)
+
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range pruneMatrix() {
+			ra, errA := on.Execute(q)
+			rb, errB := off.Execute(q)
+			if errA != nil || errB != nil {
+				t.Fatalf("pass %d %+v: on err %v, off err %v", pass, q, errA, errB)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Errorf("pass %d %+v: pruned results differ from unpruned:\n on: %+v\noff: %+v", pass, q, ra, rb)
+			}
+		}
+	}
+
+	ova, errA := on.Overview("linear", "", false)
+	ovb, errB := off.Overview("linear", "", false)
+	if errA != nil || errB != nil {
+		t.Fatalf("overview: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(ova, ovb) {
+		t.Error("overview differs under pruning")
+	}
+
+	res, err := on.Execute(Query{Classes: []string{"linear"}, K: 1})
+	if err != nil || len(res) == 0 || len(res[0].Insights) == 0 {
+		t.Fatalf("focus query: %v", err)
+	}
+	focus := res[0].Insights[0]
+	na, errA := on.Neighborhood(focus, nil, 3, false)
+	nb, errB := off.Neighborhood(focus, nil, 3, false)
+	if errA != nil || errB != nil {
+		t.Fatalf("neighborhood: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(na, nb) {
+		t.Error("neighborhood differs under pruning")
+	}
+
+	// The run must have actually pruned (the dip bound alone
+	// guarantees it under MinScore 0.5) and seeded from the memo on
+	// the repeat pass; the off engine must never have.
+	st := on.PruneStats()
+	if !st.Enabled || st.Considered == 0 || st.Pruned == 0 || st.Seeded == 0 {
+		t.Errorf("pruning engine never pruned/seeded: %+v", st)
+	}
+	if st.Pruned > st.Considered {
+		t.Errorf("pruned %d > considered %d", st.Pruned, st.Considered)
+	}
+	if offSt := off.PruneStats(); offSt.Enabled || offSt.Pruned != 0 || offSt.Considered != 0 {
+		t.Errorf("disabled engine recorded pruning work: %+v", offSt)
+	}
+}
+
+// TestPruningEquivalenceUnderIngest hammers a pruning engine with
+// queries while ingest batches land (run with -race), then checks the
+// settled state still answers identically to an unpruned engine over
+// the same extended frame and profile.
+func TestPruningEquivalenceUnderIngest(t *testing.T) {
+	f := testFrame(800, 7)
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{Seed: 7, Spearman: true})
+	e, err := NewEngine(f, core.NewRegistry(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < 4; b++ {
+			if _, err := e.Ingest(context.Background(), ingestRows(40, b*40), nil); err != nil {
+				t.Errorf("ingest batch %d: %v", b, err)
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qs := pruneMatrix()
+			for j := 0; j < 3; j++ {
+				if _, err := e.Execute(qs[(g+j)%len(qs)]); err != nil {
+					t.Errorf("concurrent execute: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	off, err := NewEngine(e.Frame(), core.NewRegistry(), e.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.SetPruning(false)
+	for _, q := range pruneMatrix() {
+		ra, errA := e.Execute(q)
+		rb, errB := off.Execute(q)
+		if errA != nil || errB != nil {
+			t.Fatalf("%+v: on err %v, off err %v", q, errA, errB)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Errorf("%+v: post-ingest pruned results differ from unpruned", q)
+		}
+	}
+}
+
+// TestMaxScoreValidation pins the MaxScore contract: 0 means
+// unbounded (a plain Query{} must not filter everything out), and a
+// negative value is a loud error instead of an empty result.
+func TestMaxScoreValidation(t *testing.T) {
+	e := newTestEngine(t, 300, 9)
+	if _, err := e.Execute(Query{MaxScore: -0.1}); err == nil {
+		t.Error("negative MaxScore accepted")
+	}
+	res, err := e.Execute(Query{Classes: []string{"linear"}, K: 2, MaxScore: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Insights) == 0 {
+		t.Errorf("MaxScore=0 should be unbounded, got %+v", res)
+	}
+}
+
+// TestPrunedFilteredTelemetrySplit pins the counter semantics the
+// issue title complains about: Pruned counts candidates never scored,
+// Filtered counts candidates scored and then dropped by a filter —
+// and neither leaks into the other.
+func TestPrunedFilteredTelemetrySplit(t *testing.T) {
+	f := testFrame(600, 5)
+	p := sketch.BuildProfile(f, sketch.ProfileConfig{Seed: 5, Spearman: true})
+	e, err := NewEngine(f, core.NewRegistry(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := telemetry.New(telemetry.Config{})
+	e.SetInsightTelemetry(ins)
+
+	// Every dip bound is ~0.25, strictly below MinScore 0.5: the whole
+	// class is pruned without scoring a single candidate.
+	if _, err := e.Execute(Query{Classes: []string{"multimodality"}, MinScore: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// The linear bound (~1) clears MinScore 0.999, so every pair is
+	// scored — and then dropped by the filter: pure Filtered traffic.
+	if _, err := e.Execute(Query{Classes: []string{"linear"}, MinScore: 0.999}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := ins.Snapshot(e.CacheStats().Generation, 5)
+	byClass := map[string]telemetry.ClassSnapshot{}
+	for _, c := range snap.Classes {
+		byClass[c.Class] = c
+	}
+	mm, ok := byClass["multimodality"]
+	if !ok {
+		t.Fatalf("no multimodality sample: %+v", snap.Classes)
+	}
+	if mm.Pruned == 0 || mm.Filtered != 0 || mm.ScoreCount != 0 || mm.Emitted != 0 {
+		t.Errorf("pruned class should be all-Pruned, nothing scored: %+v", mm)
+	}
+	lin, ok := byClass["linear"]
+	if !ok {
+		t.Fatalf("no linear sample: %+v", snap.Classes)
+	}
+	if lin.Filtered == 0 || lin.Pruned != 0 || lin.Candidates != lin.Filtered {
+		t.Errorf("filtered class should be all-Filtered, fully scored: %+v", lin)
+	}
+}

@@ -38,7 +38,9 @@ type Query struct {
 	// (the paper's x = x̄ constraint generalized to any subset).
 	Fixed []string `json:"fixed,omitempty"`
 	// MinScore/MaxScore filter on the strength metric, e.g. the
-	// paper's ρ ∈ [0.5, 0.8] filter. MaxScore ≤ 0 means +∞.
+	// paper's ρ ∈ [0.5, 0.8] filter. MaxScore = 0 means +∞ (the
+	// zero value is "no upper bound", so a plain Query{} is
+	// unbounded); a negative MaxScore is rejected with an error.
 	MinScore float64 `json:"min_score,omitempty"`
 	MaxScore float64 `json:"max_score,omitempty"`
 	// K bounds the number of returned insights per class (0 = all).
@@ -104,6 +106,15 @@ type Engine struct {
 	// cancellations counts engine operations that returned early
 	// because their context was cancelled or its deadline expired.
 	cancellations atomic.Uint64
+	// pruningOff disables the bound-based top-k pruning path
+	// (prune.go); the zero value means pruning is enabled.
+	pruningOff atomic.Bool
+	// Pruning-efficacy counters (prune.go): candidates that entered
+	// the pruned path, candidates skipped without being scored, and
+	// memoized scores that seeded the threshold.
+	pruneConsidered atomic.Uint64
+	prunedTotal     atomic.Uint64
+	pruneSeeded     atomic.Uint64
 }
 
 // NewEngine returns an engine over f using the registry's insight
@@ -239,8 +250,12 @@ func (e *Engine) executeOp(ctx context.Context, q Query, op string) ([]Result, e
 		endParse()
 		return nil, fmt.Errorf("query: approximate query requires a preprocessed profile")
 	}
+	if q.MaxScore < 0 {
+		endParse()
+		return nil, fmt.Errorf("query: negative MaxScore %v (use 0 for unbounded)", q.MaxScore)
+	}
 	maxScore := q.MaxScore
-	if maxScore <= 0 {
+	if maxScore == 0 {
 		maxScore = math.Inf(1)
 	}
 	endParse()
@@ -287,14 +302,19 @@ func (e *Engine) executeOp(ctx context.Context, q Query, op string) ([]Result, e
 
 // scoreClass scores one class against the snapshot. When wantStats is
 // set (a telemetry store is attached) it also fills a ClassSample with
-// candidate/pruned/emitted counts, the emitted scores and attribute
-// tuples, and the top-k margin; otherwise the sample is zero and no
-// extra work happens on the hot path.
+// candidate/pruned/filtered/emitted counts, the emitted scores and
+// attribute tuples, and the top-k margin; otherwise the sample is zero
+// and no extra work happens on the hot path.
+//
+// Under pruning, the Margin telemetry is conservative: the strongest
+// excluded candidate may have been skipped rather than scored, so the
+// reported margin can exceed the true one. The returned insights are
+// unaffected (see the equivalence argument in prune.go).
 func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c core.Class, q Query, metric string, maxScore float64, wantStats bool) ([]core.Insight, telemetry.ClassSample, error) {
 	// Filter candidates by the structural constraints first, then
-	// score (memoized, possibly in parallel), then filter by strength
-	// and rank. The memo keys on the resolved metric so explicit
-	// default-metric queries and "" share entries.
+	// score (bound-pruned, memoized, possibly in parallel), then
+	// filter by strength and rank. The memo keys on the resolved
+	// metric so explicit default-metric queries and "" share entries.
 	endEnum := tr.StartSpan("enumerate:" + c.Name())
 	var cands [][]string
 	for _, attrs := range c.Candidates(snap.frame) {
@@ -315,7 +335,7 @@ func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c
 		return nil, telemetry.ClassSample{}, err
 	}
 	endScore := tr.StartSpan("score:" + c.Name())
-	scored, err := e.scoreCandidates(ctx, snap, c, cands, q.Approx, resolved)
+	scored, pruned, err := e.scoreCandidatesPruned(ctx, snap, c, cands, q, resolved, maxScore)
 	endScore()
 	if err != nil {
 		return nil, telemetry.ClassSample{}, err
@@ -338,7 +358,8 @@ func (e *Engine) scoreClass(ctx context.Context, tr *obs.Trace, snap snapshot, c
 	st := telemetry.ClassSample{
 		Class:      c.Name(),
 		Candidates: len(cands),
-		Pruned:     len(scored) - len(ins),
+		Pruned:     pruned,
+		Filtered:   len(scored) - len(ins),
 		Emitted:    len(top),
 		Margin:     topKMargin(top, bestExcluded),
 		Scores:     make([]float64, len(top)),

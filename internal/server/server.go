@@ -88,7 +88,7 @@ type Options struct {
 	// structured JSON lines through LogWriter (0 disables, 1 logs every
 	// query, 0.01 logs every 100th). Independent of the per-request
 	// HTTP log: a query line carries scoring telemetry (candidates,
-	// pruned, emitted, top-k margin), not HTTP fields.
+	// pruned, filtered, emitted, top-k margin), not HTTP fields.
 	QueryLogSample float64
 	// Telemetry sizes the insight-telemetry store served at
 	// /api/debug/insights; the zero value picks the defaults.
@@ -682,6 +682,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	f := s.engine.Frame()
 	s.writeJSON(w, map[string]interface{}{
 		"cache":       s.engine.CacheStats(),
+		"prune":       s.engine.PruneStats(),
 		"workers":     s.engine.Workers(),
 		"dataset":     f.Name(),
 		"rows":        f.Rows(),
@@ -765,9 +766,12 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 
 // handleDebugInsights serves the insight-telemetry snapshot: per-class
 // score quantiles (p50/p90/p99 within the KLL rank-error bound), hot
-// columns and column tuples, candidate/pruned/emitted counters, top-k
-// margin trends, the recent-query ring, and staleness against the
-// engine's live cache generation. ?top= bounds the hot-item lists.
+// columns and column tuples, candidate/pruned/filtered/emitted
+// counters ("pruned" = skipped unscored by bound pruning; "filtered" =
+// scored but dropped by NaN/strength filters — the meaning "pruned"
+// carried before the split), top-k margin trends, the recent-query
+// ring, and staleness against the engine's live cache generation.
+// ?top= bounds the hot-item lists.
 // Snapshotting drains the write stripes without blocking scoring.
 func (s *Server) handleDebugInsights(w http.ResponseWriter, r *http.Request) {
 	top := intParam(r, "top", 10)
