@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"foresight"
+	"foresight/internal/durable"
 	"foresight/internal/obs"
 	"foresight/internal/server"
 )
@@ -358,6 +359,9 @@ func runServe(args []string) error {
 	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request API deadline (0 = none)")
 	maxInflight := fs.Int("max-inflight", 256, "max concurrently served API requests (0 = unlimited)")
 	queryLogSample := fs.Float64("query-log-sample", 0, "fraction of engine queries logged as structured JSON telemetry lines (0 = off)")
+	walDir := fs.String("wal-dir", "", "durability directory for the write-ahead log and snapshots (empty = no durable ingest)")
+	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: always | interval | off")
+	recoverPermissive := fs.Bool("recover-permissive", false, "keep the valid WAL prefix on mid-log corruption instead of refusing to start")
 	_ = fs.Parse(args)
 	if *profilePath != "" {
 		*approx = true
@@ -375,14 +379,41 @@ func runServe(args []string) error {
 	engine.SetCacheEnabled(*cache)
 	reg := obs.NewRegistry()
 	obs.SetBuildInfo(reg, "foresight-cli")
-	srv := server.New(engine, *k, *approx, server.Options{
+	// Durable ingest mirrors cmd/foresightd, but recovery runs
+	// synchronously before the listener starts — the CLI favors a
+	// simple startup over serving queries mid-replay.
+	var durMgr *durable.Manager
+	srvOpts := server.Options{
 		Registry:       reg,
 		LogWriter:      os.Stderr,
 		Version:        "foresight-cli",
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
 		QueryLogSample: *queryLogSample,
-	})
+	}
+	if *walDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		durMgr, err = durable.Open(durable.Options{
+			Dir: *walDir, Fsync: policy, Permissive: *recoverPermissive,
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			return err
+		}
+		durMgr.Instrument(reg)
+		rec, err := durMgr.Recover(engine)
+		if err != nil {
+			return fmt.Errorf("WAL recovery: %w", err)
+		}
+		fmt.Printf("foresight: recovered %s: snapshot seq %d + %d replayed batches (%d rows), last seq %d\n",
+			*walDir, rec.SnapshotSeq, rec.ReplayedBatches, rec.ReplayedRows, rec.LastSeq)
+		defer durMgr.Close()
+		srvOpts.Durable = durMgr
+	}
+	srv := server.New(engine, *k, *approx, srvOpts)
 	fmt.Printf("foresight: serving %s on http://localhost%s (workers=%d cache=%v prune=%v; /metrics, /api/stats, /api/debug/insights)\n",
 		f.Summary(), *addr, engine.Workers(), *cache, engine.PruningEnabled())
 
@@ -417,7 +448,9 @@ func runServe(args []string) error {
 	fmt.Println("foresight: signal received, draining in-flight requests...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(shutdownCtx)
+	err = httpSrv.Shutdown(shutdownCtx)
+	srv.Close() // stop the ingest worker before the WAL closes
+	return err
 }
 
 func runDemo(args []string) error {

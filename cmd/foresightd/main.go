@@ -16,6 +16,12 @@
 // `foresight top` dashboard), and operational stats at /api/stats.
 // POST /api/ingest appends row batches live (CSV or JSON;
 // the sketch store extends incrementally, bounded by -ingest-queue).
+// With -wal-dir, acked batches are durable: a CRC-framed write-ahead
+// log (sync policy -fsync/-fsync-interval) plus checkpointed
+// snapshots (-checkpoint-rows) let a restart recover every acked row
+// and replay the tail; /healthz reports liveness, /readyz flips to
+// 200 once recovery completes, and -recover-permissive accepts a
+// mid-log-corrupt WAL's valid prefix instead of refusing to start.
 // With -debug-addr a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (kept off the main port so
 // profiling endpoints are never exposed to UI traffic).
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"foresight"
+	"foresight/internal/durable"
 	"foresight/internal/obs"
 	"foresight/internal/server"
 	"foresight/internal/sketch"
@@ -70,6 +77,11 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 64, "maximum queued /api/ingest batches; excess batches are shed with 503")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain before forcing exit")
 	queryLogSample := flag.Float64("query-log-sample", 0, "fraction of engine queries logged as structured JSON telemetry lines (0 = off, 1 = every query, 0.01 = every 100th)")
+	walDir := flag.String("wal-dir", "", "durability directory for the write-ahead log and snapshots; empty disables durable ingest (acked batches then live only in memory)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: always (sync before every ack), interval (background timer), off (page cache only)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL flush period under -fsync interval")
+	checkpointRows := flag.Int("checkpoint-rows", 50000, "write a snapshot once this many rows accumulated in the WAL since the last one (<0 disables the row trigger)")
+	recoverPermissive := flag.Bool("recover-permissive", false, "on mid-log WAL corruption, keep the valid prefix and start instead of refusing (a torn final record is always repaired automatically)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -107,6 +119,30 @@ func main() {
 	engine.SetCacheEnabled(*cache)
 	engine.SetPruning(*prune)
 
+	// Durable ingest (DESIGN.md §6k): with -wal-dir, every acked ingest
+	// batch is write-ahead logged and periodically checkpointed, and
+	// startup recovers snapshot + WAL tail into the engine before the
+	// server reports ready.
+	var durMgr *durable.Manager
+	if *walDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("foresightd: %v", err)
+		}
+		durMgr, err = durable.Open(durable.Options{
+			Dir:            *walDir,
+			Fsync:          policy,
+			FsyncInterval:  *fsyncInterval,
+			CheckpointRows: *checkpointRows,
+			Permissive:     *recoverPermissive,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("foresightd: %v", err)
+		}
+		durMgr.Instrument(reg)
+	}
+
 	opts := server.Options{
 		Registry:           reg,
 		LogWriter:          os.Stderr,
@@ -120,7 +156,29 @@ func main() {
 	if *quiet {
 		opts.LogWriter = nil
 	}
+	if durMgr != nil {
+		opts.StartUnready = true
+		opts.Durable = durMgr
+	}
 	srv := server.New(engine, *k, *approx, opts)
+
+	// Recovery runs concurrently with the listener coming up: queries
+	// serve against the pre-replay snapshot immediately, /readyz stays
+	// 503 and ingest is rejected until the replay lands. A recovery
+	// failure is fatal — starting with silently missing acked rows is
+	// worse than not starting (use -recover-permissive to accept a
+	// truncated log explicitly).
+	if durMgr != nil {
+		go func() {
+			rec, err := durMgr.Recover(engine)
+			if err != nil {
+				log.Fatalf("foresightd: WAL recovery: %v", err)
+			}
+			log.Printf("foresightd: recovered %s: snapshot seq %d (%d rows) + %d replayed batches (%d rows), last seq %d, torn tail %v (%.3fs)",
+				*walDir, rec.SnapshotSeq, rec.SnapshotRows, rec.ReplayedBatches, rec.ReplayedRows, rec.LastSeq, rec.TornTailDetected, rec.DurationSeconds)
+			srv.SetReady()
+		}()
+	}
 
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, reg)
@@ -149,6 +207,11 @@ func main() {
 		log.Fatalf("foresightd: %v", err)
 	}
 	srv.Close() // stop the ingest worker after the listener has drained
+	if durMgr != nil {
+		if err := durMgr.Close(); err != nil {
+			log.Printf("foresightd: closing WAL: %v", err)
+		}
+	}
 	log.Printf("foresightd: shut down cleanly")
 }
 

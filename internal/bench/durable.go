@@ -1,0 +1,407 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"foresight/internal/core"
+	"foresight/internal/datagen"
+	"foresight/internal/durable"
+	"foresight/internal/frame"
+	"foresight/internal/obs"
+	"foresight/internal/query"
+	"foresight/internal/sketch"
+	"foresight/internal/sketch/sketchcheck"
+)
+
+// E17Config sizes the durability experiment.
+type E17Config struct {
+	// BaseRows is the initially profiled dataset size; Batches batches
+	// of BatchRows rows stream in with and without a WAL attached.
+	BaseRows, BatchRows, Batches int
+	Dims                         int
+	Seed                         int64
+}
+
+// RunE17Durable quantifies and validates the durable-ingest path
+// (DESIGN.md §6k) in three parts:
+//
+//  1. Overhead: the same ingest workload runs with no durability and
+//     with a WAL at fsync=interval on the real filesystem (order
+//     alternated across 5 trials, per-batch minima summed). The gate
+//     is the in-run share of ingest time spent inside the ingest:wal
+//     span (per-batch minimum across trials, median across batches) —
+//     numerator and denominator come from the same wall-clock window,
+//     so a loaded machine slows both and the ratio survives — and the
+//     WAL must cost ≤10% of ingest throughput.
+//  2. Crash matrix: a small scenario (ingest, mid-way checkpoint)
+//     replays on the fault-injection ErrFS with a simulated crash at a
+//     stride of write boundaries; after every crash, recovery must
+//     restore each acknowledged batch bit-identically and never apply
+//     a torn batch.
+//  3. Fidelity: a read-only recovery of the fault-free run is gated
+//     against a cold from-scratch profile rebuild at the sketchcheck
+//     0.07 score tolerance.
+func RunE17Durable(w io.Writer, outDir string, cfg E17Config) error {
+	if cfg.BaseRows <= 0 {
+		cfg.BaseRows = 20000
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 2000
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 8
+	}
+	if cfg.Dims <= 0 {
+		cfg.Dims = 8
+	}
+	total := cfg.BaseRows + cfg.Batches*cfg.BatchRows
+	full := datagen.Scalable(datagen.ScalableConfig{
+		Rows: total, NumericCols: cfg.Dims, CatCols: 2, Seed: cfg.Seed,
+	})
+	keep := make([]bool, total)
+	for i := 0; i < cfg.BaseRows; i++ {
+		keep[i] = true
+	}
+	base, err := full.FilterRows(keep)
+	if err != nil {
+		return err
+	}
+	pcfg := sketch.ProfileConfig{Seed: cfg.Seed, K: 128}
+
+	newEngine := func() (*query.Engine, error) {
+		e, err := query.NewEngine(base, core.NewRegistry(), sketch.BuildProfile(base, pcfg))
+		if err != nil {
+			return nil, err
+		}
+		// Single-worker ingest: the overhead gate is a ratio, and one
+		// deterministic CPU stream is far less noisy than GOMAXPROCS
+		// workers racing the rest of the machine.
+		e.SetWorkers(1)
+		return e, nil
+	}
+	// ingestAll times each batch; walShare additionally collects, per
+	// batch, the fraction of ingest time spent inside the ingest:wal
+	// span (zero-length slice when the engine has no sink).
+	ingestAll := func(e *query.Engine, walShare *[]float64) ([]time.Duration, error) {
+		per := make([]time.Duration, cfg.Batches)
+		for b := 0; b < cfg.Batches; b++ {
+			batch := sliceBatch(full, cfg.BaseRows+b*cfg.BatchRows, cfg.BaseRows+(b+1)*cfg.BatchRows)
+			tr := obs.NewTrace("e17-ingest", "")
+			ctx := obs.WithTrace(context.Background(), tr)
+			var err error
+			per[b] = timeIt(func() {
+				_, err = e.Ingest(ctx, batch, nil)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if walShare == nil {
+				continue
+			}
+			var walMS float64
+			for _, s := range tr.Finish().Spans {
+				if s.Name == "ingest:wal" {
+					walMS += s.DurMS
+				}
+			}
+			if total := float64(per[b]) / float64(time.Millisecond); total > walMS {
+				*walShare = append(*walShare, walMS/(total-walMS))
+			}
+		}
+		return per, nil
+	}
+
+	// Part 1: WAL overhead on the real filesystem, interleaved min-of-5
+	// with an untimed warm-up round so background noise and cold caches
+	// hit both arms equally.
+	tmpRoot, err := os.MkdirTemp("", "e17-durable-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmpRoot)
+	if e, err := newEngine(); err != nil {
+		return err
+	} else if _, err := ingestAll(e, nil); err != nil {
+		return err
+	}
+	// The estimator is the per-batch minimum across trials, summed: a
+	// background burst (another process, a GC pause) would have to hit
+	// the SAME batch index in every trial of an arm to survive into the
+	// ratio, where a per-trial total is poisoned by any single burst.
+	const trials = 5
+	minPer := func(acc, per []time.Duration) []time.Duration {
+		if acc == nil {
+			return append([]time.Duration(nil), per...)
+		}
+		for i, d := range per {
+			if d < acc[i] {
+				acc[i] = d
+			}
+		}
+		return acc
+	}
+	var walShares [][]float64 // per trial, per batch
+	runPlain := func() ([]time.Duration, error) {
+		e, err := newEngine()
+		if err != nil {
+			return nil, err
+		}
+		return ingestAll(e, nil)
+	}
+	runWAL := func(trial int) ([]time.Duration, error) {
+		e, err := newEngine()
+		if err != nil {
+			return nil, err
+		}
+		m, err := durable.Open(durable.Options{
+			Dir:   filepath.Join(tmpRoot, fmt.Sprintf("wal-%d", trial)),
+			Fsync: durable.FsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Recover(e); err != nil {
+			return nil, err
+		}
+		var shares []float64
+		per, err := ingestAll(e, &shares)
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			walShares = append(walShares, shares)
+		}
+		return per, err
+	}
+	var perPlain, perWAL []time.Duration
+	for trial := 0; trial < trials; trial++ {
+		// Alternate arm order so load that arrives midway through the
+		// experiment cannot systematically tax one arm.
+		var dPlain, dWAL []time.Duration
+		var err error
+		if trial%2 == 0 {
+			if dPlain, err = runPlain(); err == nil {
+				dWAL, err = runWAL(trial)
+			}
+		} else {
+			if dWAL, err = runWAL(trial); err == nil {
+				dPlain, err = runPlain()
+			}
+		}
+		if err != nil {
+			return err
+		}
+		perPlain = minPer(perPlain, dPlain)
+		perWAL = minPer(perWAL, dWAL)
+	}
+	var minPlain, minWAL time.Duration
+	for b := 0; b < cfg.Batches; b++ {
+		minPlain += perPlain[b]
+		minWAL += perWAL[b]
+	}
+	abPct := (float64(minWAL)/float64(minPlain) - 1) * 100
+	// The gated number is the ingest:wal span share: measured inside
+	// each ingest, so machine-wide CPU load inflates both sides of the
+	// ratio and cancels, where the A/B wall-clock delta is at the mercy
+	// of whatever else ran during the other arm. Per batch index the
+	// minimum share across trials is kept (one trial can still hit
+	// sustained writeback throttling, which taxes only the span), then
+	// the median across batches is gated.
+	bestShares := make([]float64, 0, cfg.Batches)
+	for b := 0; b < cfg.Batches; b++ {
+		best := -1.0
+		for _, trial := range walShares {
+			if b < len(trial) && (best < 0 || trial[b] < best) {
+				best = trial[b]
+			}
+		}
+		if best >= 0 {
+			bestShares = append(bestShares, best)
+		}
+	}
+	sort.Float64s(bestShares)
+	overheadPct := bestShares[len(bestShares)/2] * 100
+
+	// Part 2: strided crash matrix on ErrFS. A tiny dataset keeps each
+	// crash point cheap; FsyncAlways means every ack promises recovery.
+	const (
+		cBase, cRows, cBatches = 500, 50, 6
+		matrixPoints           = 32
+	)
+	cTotal := cBase + cBatches*cRows
+	cFull := datagen.Scalable(datagen.ScalableConfig{
+		Rows: cTotal, NumericCols: 4, CatCols: 1, Seed: cfg.Seed + 1,
+	})
+	cKeep := make([]bool, cTotal)
+	for i := 0; i < cBase; i++ {
+		cKeep[i] = true
+	}
+	cBaseFrame, err := cFull.FilterRows(cKeep)
+	if err != nil {
+		return err
+	}
+	cPcfg := sketch.ProfileConfig{Seed: cfg.Seed, K: 64}
+	newCrashEngine := func() (*query.Engine, error) {
+		return query.NewEngine(cBaseFrame, core.NewRegistry(), sketch.BuildProfile(cBaseFrame, cPcfg))
+	}
+	// scenario ingests the remaining batches with an explicit mid-way
+	// checkpoint, returning how many batches were acknowledged before
+	// the armed crash (if any) fired.
+	scenario := func(fs *durable.ErrFS) (int, error) {
+		e, err := newCrashEngine()
+		if err != nil {
+			return 0, err
+		}
+		m, err := durable.Open(durable.Options{
+			Dir: "wal", FS: fs, Fsync: durable.FsyncAlways,
+			CheckpointRows: -1, CheckpointBytes: -1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer m.Close()
+		rec, err := m.Recover(e)
+		if err != nil {
+			return 0, err
+		}
+		acked := int(rec.LastSeq)
+		for b := acked; b < cBatches; b++ {
+			batch := sliceBatch(cFull, cBase+b*cRows, cBase+(b+1)*cRows)
+			if _, err := e.Ingest(context.Background(), batch, nil); err != nil {
+				return acked, err
+			}
+			acked++
+			if b == cBatches/2 {
+				if err := m.Checkpoint(); err != nil {
+					return acked, err
+				}
+			}
+		}
+		return acked, nil
+	}
+	cell := func(f *frame.Frame, c, r int) string {
+		if f.Column(c).IsMissing(r) {
+			return ""
+		}
+		return f.Column(c).StringAt(r)
+	}
+	// verify recovers fs into a fresh engine and checks the crash-
+	// consistency contract: whole batches only, every acked batch
+	// present, every recovered cell bit-identical to the source rows.
+	verify := func(fs *durable.ErrFS, acked int) error {
+		e, err := newCrashEngine()
+		if err != nil {
+			return err
+		}
+		m, err := durable.Open(durable.Options{
+			Dir: "wal", FS: fs, Fsync: durable.FsyncAlways,
+			CheckpointRows: -1, CheckpointBytes: -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		if _, err := m.Recover(e); err != nil {
+			return fmt.Errorf("recovery failed: %w", err)
+		}
+		got := e.Frame().Rows() - cBase
+		if got%cRows != 0 {
+			return fmt.Errorf("torn batch applied: %d recovered rows not a multiple of %d", got, cRows)
+		}
+		if gb := got / cRows; gb < acked || gb > cBatches {
+			return fmt.Errorf("recovered %d batches, acked %d, attempted %d", gb, acked, cBatches)
+		}
+		for r := 0; r < got; r++ {
+			for c := 0; c < cFull.Cols(); c++ {
+				if g, want := cell(e.Frame(), c, cBase+r), cell(cFull, c, cBase+r); g != want {
+					return fmt.Errorf("row %d col %d: %q != %q", cBase+r, c, g, want)
+				}
+			}
+		}
+		return nil
+	}
+
+	dryFS := durable.NewErrFS()
+	if _, err := scenario(dryFS); err != nil {
+		return fmt.Errorf("e17: fault-free scenario: %w", err)
+	}
+	ops := dryFS.Ops()
+	stride := ops / matrixPoints
+	if stride < 1 {
+		stride = 1
+	}
+	points, failures := 0, 0
+	var firstFailure error
+	for at := 1; at <= ops; at += stride {
+		fs := durable.NewErrFS()
+		fs.CrashAt(at)
+		acked, _ := scenario(fs)
+		fs.Restart()
+		points++
+		if err := verify(fs, acked); err != nil {
+			failures++
+			if firstFailure == nil {
+				firstFailure = fmt.Errorf("crash at op %d/%d: %w", at, ops, err)
+			}
+		}
+	}
+
+	// Part 3: fidelity gate. Read-only recovery of the fault-free run,
+	// recovered profile vs a cold rebuild of the recovered frame.
+	scratch, err := newCrashEngine()
+	if err != nil {
+		return err
+	}
+	mro, err := durable.Open(durable.Options{Dir: "wal", FS: dryFS, ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	if _, err := mro.Recover(scratch); err != nil {
+		return fmt.Errorf("e17: read-only recovery: %w", err)
+	}
+	cold := sketch.BuildProfile(scratch.Frame(), cPcfg)
+	const scoreTol = 0.07
+	rep := &sketchcheck.Report{}
+	sketchcheck.CheckProfilesCompatible(rep, "e17-recovered", scratch.Profile(), cold, scoreTol, false)
+
+	t := NewTable(fmt.Sprintf("E17: durable ingest (base=%d, %d×%d-row batches, d=%d)",
+		cfg.BaseRows, cfg.Batches, cfg.BatchRows, cfg.Dims+2),
+		"measure", "value")
+	t.AddRow("ingest total, no WAL (per-batch min of 5)", minPlain)
+	t.AddRow("ingest total, WAL fsync=interval (per-batch min of 5)", minWAL)
+	t.AddRow("A/B wall-clock delta (informative)", fmt.Sprintf("%.1f%%", abPct))
+	t.AddRow("WAL overhead (min-across-trials ingest:wal share)", fmt.Sprintf("%.1f%%", overheadPct))
+	t.AddRow("crash points tested (of possible)", fmt.Sprintf("%d (%d)", points, ops))
+	t.AddRow("crash points recovered correctly", points-failures)
+	t.AddRow("fidelity checks (recovered vs cold rebuild)", rep.Checked)
+	t.AddRow("fidelity violations", len(rep.Violations))
+	t.Print(w)
+
+	const overheadTol = 10.0
+	ok := true
+	if overheadPct > overheadTol {
+		ok = false
+		fmt.Fprintf(w, "WARNING: WAL overhead %.1f%% exceeds %.0f%% of ingest throughput (A/B %v vs %v).\n",
+			overheadPct, overheadTol, minWAL, minPlain)
+	}
+	if failures > 0 {
+		ok = false
+		fmt.Fprintf(w, "WARNING: %d of %d crash points violated recovery invariants; first: %v\n",
+			failures, points, firstFailure)
+	}
+	if len(rep.Violations) > 0 {
+		ok = false
+		sketchcheck.WriteReport(w, rep)
+	}
+	if ok {
+		fmt.Fprintf(w, "durable ingest: WAL costs %.1f%% at fsync=interval (≤%.0f%%), %d/%d crash points recovered acked batches bit-identically, recovered profile within %.2f of a cold rebuild.\n",
+			overheadPct, overheadTol, points, points, scoreTol)
+	}
+	return t.WriteTSV(outDir, "e17_durable")
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"foresight/internal/frame"
@@ -90,9 +91,25 @@ func (e *Engine) Ingest(ctx context.Context, batch frame.RowBatch, opts *frame.R
 	e.cache.invalidate()
 	gen := e.cache.generation()
 	e.mu.Unlock()
-	return IngestResult{
+	res := IngestResult{
 		RowsAppended: f2.Rows() - snap.frame.Rows(),
 		TotalRows:    f2.Rows(),
 		Generation:   gen,
-	}, nil
+	}
+
+	// Durability barrier: the batch is applied, now it must be logged
+	// before the caller acknowledges it. A sink failure reports the
+	// batch unacknowledged even though it is live in memory — the
+	// client retries and the recovered state after a restart decides;
+	// the alternative (ack without log) would silently lose acked rows
+	// on the next crash.
+	if e.durableSink != nil {
+		endLog := obs.StartSpan(ctx, "ingest:wal")
+		err := e.durableSink.AppendBatch(batch, res)
+		endLog()
+		if err != nil {
+			return IngestResult{}, fmt.Errorf("batch applied in memory but WAL append failed (unacknowledged): %w", err)
+		}
+	}
+	return res, nil
 }

@@ -84,6 +84,9 @@ type Engine struct {
 	// both extend the same base frame and lose rows (queries are not
 	// blocked: they read under mu only).
 	ingestMu sync.Mutex
+	// durableSink, when set, logs every applied batch before Ingest
+	// reports success (recover.go). Guarded by ingestMu.
+	durableSink DurableSink
 	// workers is the candidate-scoring parallelism (see SetWorkers);
 	// values < 2 mean sequential.
 	workers int

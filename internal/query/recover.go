@@ -1,0 +1,54 @@
+package query
+
+import (
+	"fmt"
+
+	"foresight/internal/frame"
+	"foresight/internal/sketch"
+)
+
+// DurableSink receives every applied ingest batch before Ingest
+// reports success. The durability manager (internal/durable) implements
+// it with a write-ahead-log append: a batch is acknowledged to the
+// client only after the sink accepts it, so the engine's in-memory
+// state never runs ahead of what a restart can recover (modulo the
+// configured fsync policy's window).
+type DurableSink interface {
+	// AppendBatch is called under the engine's ingest lock, after the
+	// batch has been applied to the engine and before Ingest returns.
+	// An error fails the ingest call (the rows are applied in memory
+	// but reported as unacknowledged).
+	AppendBatch(batch frame.RowBatch, res IngestResult) error
+}
+
+// SetDurableSink attaches (or, with nil, detaches) the durable sink.
+// It takes the ingest lock, so after it returns no in-flight Ingest is
+// still using the previous sink. Recovery replay calls Ingest before
+// installing the sink — replayed batches are already in the log and
+// must not be logged again.
+func (e *Engine) SetDurableSink(s DurableSink) {
+	e.ingestMu.Lock()
+	e.durableSink = s
+	e.ingestMu.Unlock()
+}
+
+// RestoreSnapshot installs a recovered (frame, profile) pair as the
+// engine's current state — the checkpoint fast path: the snapshot
+// already carries the sketch store that was live when it was written,
+// so recovery skips re-sketching the snapshot's rows. The swap is
+// atomic with a cache invalidation, exactly like an ingest swap.
+func (e *Engine) RestoreSnapshot(f *frame.Frame, p *sketch.DatasetProfile) error {
+	if f == nil {
+		return fmt.Errorf("query: restore with nil frame")
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.mu.Lock()
+	e.frame = f
+	if p != nil {
+		e.profile = p
+	}
+	e.cache.invalidate()
+	e.mu.Unlock()
+	return nil
+}

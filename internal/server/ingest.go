@@ -82,11 +82,21 @@ func (s *Server) startIngest(queueSize int) {
 
 // Close stops the ingest worker, failing batches still queued with a
 // server-closing error, and waits for it to exit. The HTTP routes
-// remain usable for reads; further ingest posts time out waiting. Safe
-// to call more than once.
+// remain usable for reads; further ingest posts fail fast with 503
+// (handleIngest selects on ingestStop). Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.ingestStop) })
 	s.ingestWG.Wait()
+	// Sweep batches that slipped into the queue after the worker's own
+	// drain; their handlers are waiting on done (or already gone).
+	for {
+		select {
+		case j := <-s.ingestQ:
+			j.done <- ingestReply{err: errServerClosing}
+		default:
+			return
+		}
+	}
 }
 
 // ingestWorker drains the queue: one job, plus whatever else is
@@ -163,6 +173,16 @@ func (s *Server) ingestWorker() {
 // already-queued batch still applies.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestRequests.Inc()
+	// Writes are rejected until startup recovery has replayed the WAL:
+	// accepting a batch before the log is open again would ack rows the
+	// durability layer cannot log.
+	if !s.ready.Load() {
+		s.ingestRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.jsonError(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("ingest unavailable: startup recovery in progress; retry shortly"))
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	names := s.engine.Frame().Names()
 	var records [][]string
@@ -182,6 +202,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	j := &ingestJob{ctx: r.Context(), records: records, done: make(chan ingestReply, 1)}
 	select {
+	case <-s.ingestStop:
+		// Fail fast after Close: the worker is gone, so waiting on the
+		// queue would only ride out the request deadline.
+		s.closingError(w, r)
+		return
+	default:
+	}
+	select {
 	case s.ingestQ <- j:
 	default:
 		s.ingestRejected.Inc()
@@ -195,17 +223,48 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// The queued batch may still apply; only the acknowledgement is
 		// abandoned.
 		s.jsonError(w, r, http.StatusGatewayTimeout, r.Context().Err())
-	case rep := <-j.done:
-		if rep.err != nil {
-			s.jsonError(w, r, http.StatusInternalServerError, rep.err)
-			return
+	case <-s.ingestStop:
+		// Shutdown raced the enqueue. The worker's drain (or Close's
+		// sweep, or an in-flight apply) still replies; give it a moment
+		// so an applied batch is acknowledged truthfully instead of
+		// being reported retryable (a false 503 would invite a duplicate
+		// retry).
+		select {
+		case rep := <-j.done:
+			s.ingestReply(w, r, rep, len(records))
+		case <-time.After(2 * time.Second):
+			s.closingError(w, r)
 		}
-		s.writeJSONStatus(w, http.StatusAccepted, map[string]interface{}{
-			"rows_accepted": len(records),
-			"row_count":     rep.res.TotalRows,
-			"generation":    rep.res.Generation,
-		})
+	case rep := <-j.done:
+		s.ingestReply(w, r, rep, len(records))
 	}
+}
+
+// ingestReply writes the worker's verdict: 202 with the new row count
+// and generation on success, 503 + Retry-After when the server was
+// closing (the batch did not apply and the client should retry against
+// the restarted process), 500 otherwise.
+func (s *Server) ingestReply(w http.ResponseWriter, r *http.Request, rep ingestReply, accepted int) {
+	if errors.Is(rep.err, errServerClosing) {
+		s.closingError(w, r)
+		return
+	}
+	if rep.err != nil {
+		s.jsonError(w, r, http.StatusInternalServerError, rep.err)
+		return
+	}
+	s.writeJSONStatus(w, http.StatusAccepted, map[string]interface{}{
+		"rows_accepted": accepted,
+		"row_count":     rep.res.TotalRows,
+		"generation":    rep.res.Generation,
+	})
+}
+
+func (s *Server) closingError(w http.ResponseWriter, r *http.Request) {
+	s.ingestRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	s.jsonError(w, r, http.StatusServiceUnavailable,
+		fmt.Errorf("ingest unavailable: %w", errServerClosing))
 }
 
 // parseCSVBatch reads a CSV body whose header names dataset columns

@@ -34,9 +34,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"foresight/internal/core"
+	"foresight/internal/durable"
 	"foresight/internal/obs"
 	"foresight/internal/obs/telemetry"
 	"foresight/internal/query"
@@ -93,7 +95,21 @@ type Options struct {
 	// Telemetry sizes the insight-telemetry store served at
 	// /api/debug/insights; the zero value picks the defaults.
 	Telemetry telemetry.Config
+	// StartUnready starts the server not ready: /readyz answers 503 and
+	// ingest is rejected with 503 + Retry-After until SetReady is
+	// called. Used while WAL recovery replays into the engine — queries
+	// already serve (against the pre-replay snapshot), but accepting
+	// writes before the log is open would break the durability
+	// contract.
+	StartUnready bool
+	// Durable, when set, contributes the "durable" section of
+	// /api/stats (WAL/checkpoint/recovery counters).
+	Durable DurableStats
 }
+
+// DurableStats is the slice of the durability manager
+// (internal/durable.Manager) the server reads for /api/stats.
+type DurableStats interface{ Stats() durable.Stats }
 
 // Server wires one dataset, one engine and one exploration session
 // into an http.Handler. A demo server holds a single shared session,
@@ -116,6 +132,12 @@ type Server struct {
 	telem    *telemetry.Insights
 	start    time.Time
 	version  string
+
+	// ready gates ingest and /readyz; it starts false under
+	// Options.StartUnready and flips once via SetReady when recovery
+	// replay completes. durable is the optional stats source.
+	ready   atomic.Bool
+	durable DurableStats
 
 	// Serving-path safety rails (§6e): the per-request deadline, the
 	// bounded-concurrency gate, and their visibility counters.
@@ -163,7 +185,9 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 		start:          time.Now(),
 		version:        version,
 		requestTimeout: o.RequestTimeout,
+		durable:        o.Durable,
 	}
+	s.ready.Store(!o.StartUnready)
 	if o.MaxInflight > 0 {
 		s.gate = make(chan struct{}, o.MaxInflight)
 	}
@@ -213,6 +237,10 @@ func New(engine *query.Engine, k int, approx bool, opts ...Options) *Server {
 	obs.SetBuildInfo(reg, version)
 
 	s.handle("/", s.handleIndex, http.MethodGet)
+	// Liveness and readiness are never gated or deadlined (non-/api/
+	// paths): an orchestrator must be able to probe a saturated server.
+	s.handle("/healthz", s.handleHealthz, http.MethodGet)
+	s.handle("/readyz", s.handleReadyz, http.MethodGet)
 	s.handle("/api/dataset", s.handleDataset, http.MethodGet)
 	s.handle("/api/classes", s.handleClasses, http.MethodGet)
 	s.handle("/api/carousels", s.handleCarousels, http.MethodGet)
@@ -355,6 +383,33 @@ func (s *Server) withDeadline(next http.Handler) http.Handler {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetReady flips the server to ready: /readyz answers 200 and ingest
+// is accepted. Called once by the startup path after WAL recovery
+// replay completes (or immediately when there is no WAL).
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// Ready reports whether the server has completed startup recovery.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It says nothing about recovery — a replaying server is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]interface{}{"status": "ok", "uptime_s": time.Since(s.start).Seconds()})
+}
+
+// handleReadyz is the readiness probe: 503 until startup recovery
+// (snapshot load + WAL replay) has completed, 200 after. Orchestrators
+// keep traffic away until this flips.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSONStatus(w, http.StatusServiceUnavailable,
+			map[string]interface{}{"ready": false, "reason": "startup recovery in progress"})
+		return
+	}
+	s.writeJSON(w, map[string]interface{}{"ready": true})
+}
 
 // Registry returns the server's metrics registry (for mounting
 // /metrics on a separate debug listener).
@@ -680,7 +735,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
 	f := s.engine.Frame()
-	s.writeJSON(w, map[string]interface{}{
+	stats := map[string]interface{}{
 		"cache":       s.engine.CacheStats(),
 		"prune":       s.engine.PruneStats(),
 		"workers":     s.engine.Workers(),
@@ -714,6 +769,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"request_timeout_ms":   float64(s.requestTimeout) / float64(time.Millisecond),
 			"max_inflight":         cap(s.gate),
 			"engine_cancellations": s.engine.Cancellations(),
+			"ready":                s.ready.Load(),
 		},
 		"ingest": map[string]interface{}{
 			"queue_depth": len(s.ingestQ),
@@ -724,7 +780,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"batches":     s.ingestBatches.Value(),
 			"coalesced":   s.ingestCoalesced.Value(),
 		},
-	})
+	}
+	if s.durable != nil {
+		stats["durable"] = s.durable.Stats()
+	}
+	s.writeJSON(w, stats)
 }
 
 // maxDebugTraces caps how many traces one /api/debug/traces response
